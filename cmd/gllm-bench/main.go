@@ -1,0 +1,144 @@
+// Command gllm-bench is the open-loop benchmark client (the paper's
+// benchmark_serving.py): it replays a synthetic or recorded trace against
+// an OpenAI-compatible server and reports TTFT/TPOT/E2EL/throughput and
+// optional goodput (SLO attainment).
+//
+//	gllm-bench -port 8000 -dataset sharegpt -request-rate 4 -duration 30s \
+//	           -goodput "ttft:2000 tpot:100"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gllm/internal/client"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+func main() {
+	var (
+		host        = flag.String("host", "127.0.0.1", "server host")
+		port        = flag.Int("port", 8000, "server port")
+		modelName   = flag.String("model", "Qwen2.5-32B", "model name")
+		datasetName = flag.String("dataset-name", "sharegpt", "sharegpt or azure (paper flag --dataset-name)")
+		datasetPath = flag.String("dataset-path", "", "JSON trace to replay instead of synthesizing")
+		azureCSV    = flag.String("splitwise-path", "", "Azure LLM inference CSV trace to replay (paper flag)")
+		rate        = flag.Float64("request-rate", 4, "request rate (req/s)")
+		duration    = flag.Duration("duration", 128*time.Second, "request send window (paper: 128 s)")
+		numPrompts  = flag.Int("num-prompts", 0, "cap on request count (0 = rate x duration)")
+		seed        = flag.Uint64("seed", 20250704, "workload seed")
+		speedup     = flag.Float64("speedup", 1, "replay speedup factor")
+		goodput     = flag.String("goodput", "", `SLO spec like "ttft:2000 tpot:100" (milliseconds)`)
+	)
+	flag.Parse()
+	if err := run(*host, *port, *modelName, *datasetName, *datasetPath, *azureCSV,
+		*rate, *duration, *numPrompts, *seed, *speedup, *goodput); err != nil {
+		fmt.Fprintln(os.Stderr, "gllm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(host string, port int, modelName, datasetName, datasetPath, azureCSV string,
+	rate float64, duration time.Duration, numPrompts int, seed uint64,
+	speedup float64, goodput string) error {
+
+	var items []workload.Item
+	switch {
+	case datasetPath != "":
+		f, err := os.Open(datasetPath)
+		if err != nil {
+			return err
+		}
+		items, err = workload.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	case azureCSV != "":
+		f, err := os.Open(azureCSV)
+		if err != nil {
+			return err
+		}
+		var err2 error
+		items, err2 = workload.LoadAzureCSV(f)
+		f.Close()
+		if err2 != nil {
+			return err2
+		}
+	default:
+		ds, err := workload.ByName(datasetName)
+		if err != nil {
+			return err
+		}
+		items = workload.Poisson(stats.NewRNG(seed), ds, rate, duration)
+	}
+	if numPrompts > 0 && len(items) > numPrompts {
+		items = items[:numPrompts]
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("empty workload")
+	}
+	fmt.Printf("gllm-bench: %d requests, %d tokens, replaying at %gx\n",
+		len(items), workload.TotalTokens(items), speedup)
+
+	res, err := client.Run(context.Background(), client.Options{
+		BaseURL:            fmt.Sprintf("http://%s:%d", host, port),
+		Model:              modelName,
+		Items:              items,
+		SpeedUp:            speedup,
+		UseSyntheticPrompt: true,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range res.Errors {
+		fmt.Fprintln(os.Stderr, "  error:", e)
+	}
+	fmt.Print(res.Report.String())
+
+	if goodput != "" {
+		ttft, tpot, err := parseGoodput(goodput)
+		if err != nil {
+			return err
+		}
+		att := res.Collector.SLOAttainment(ttft, tpot)
+		fmt.Printf("  goodput (ttft<=%v tpot<=%v): %.1f%%\n", ttft, tpot, att*100)
+	}
+	if len(res.Errors) > 0 {
+		return fmt.Errorf("%d requests failed", len(res.Errors))
+	}
+	return nil
+}
+
+// parseGoodput parses the paper's "ttft:1000 tpot:250" millisecond syntax.
+func parseGoodput(spec string) (ttft, tpot time.Duration, err error) {
+	for _, field := range strings.Fields(spec) {
+		k, v, ok := strings.Cut(field, ":")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad goodput field %q", field)
+		}
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad goodput value %q: %v", v, err)
+		}
+		d := time.Duration(ms * float64(time.Millisecond))
+		switch strings.ToLower(k) {
+		case "ttft":
+			ttft = d
+		case "tpot":
+			tpot = d
+		default:
+			return 0, 0, fmt.Errorf("unknown goodput key %q", k)
+		}
+	}
+	if ttft == 0 || tpot == 0 {
+		return 0, 0, fmt.Errorf("goodput needs both ttft and tpot: %q", spec)
+	}
+	return ttft, tpot, nil
+}

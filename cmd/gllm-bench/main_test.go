@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseGoodput(t *testing.T) {
+	ttft, tpot, err := parseGoodput("ttft:2000 tpot:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttft != 2*time.Second || tpot != 100*time.Millisecond {
+		t.Fatalf("parsed %v/%v", ttft, tpot)
+	}
+	// Order-independent, case-insensitive keys, fractional ms.
+	ttft, tpot, err = parseGoodput("TPOT:250.5 TTFT:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttft != time.Second || tpot != 250500*time.Microsecond {
+		t.Fatalf("parsed %v/%v", ttft, tpot)
+	}
+}
+
+func TestParseGoodputErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"ttft:1000",
+		"tpot:100",
+		"ttft:abc tpot:100",
+		"latency:5",
+		"ttft=1000 tpot=100",
+	} {
+		if _, _, err := parseGoodput(spec); err == nil {
+			t.Errorf("%q parsed", spec)
+		}
+	}
+}

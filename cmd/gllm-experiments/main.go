@@ -1,0 +1,250 @@
+// Command gllm-experiments regenerates the paper's tables and figures on
+// the simulated substrate and writes the series data under -out.
+//
+//	gllm-experiments -run all -scale quick
+//	gllm-experiments -run fig10,fig15 -scale paper -out results/
+//
+// Experiments: fig1, fig4, fig10, fig11, fig12, fig13, fig14, fig15,
+// fig16, table1, evolution, disagg (or "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gllm/internal/experiments"
+	"gllm/internal/model"
+	"gllm/internal/workload"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids (fig1..fig16, table1) or all")
+		scale = flag.String("scale", "quick", "quick (16 s window) or paper (128 s window)")
+		out   = flag.String("out", "", "directory for CSV/series output (optional)")
+	)
+	flag.Parse()
+	if err := mainErr(*run, *scale, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gllm-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(run, scaleName, out string) error {
+	var sc experiments.Scale
+	switch scaleName {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	maybe := func(id string, fn func() error) error {
+		if !all && !want[id] {
+			return nil
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", id)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		return nil
+	}
+
+	writeCSV := func(name, content string) error {
+		if out == "" {
+			return nil
+		}
+		return os.WriteFile(filepath.Join(out, name), []byte(content), 0o644)
+	}
+
+	steps := []struct {
+		id string
+		fn func() error
+	}{
+		{"fig1", func() error {
+			res, err := experiments.Fig1TokenVolatility(sc, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			var csv strings.Builder
+			csv.WriteString("iter,sarathi_total,gllm_total\n")
+			n := len(res.Sarathi.Total)
+			if len(res.GLLM.Total) > n {
+				n = len(res.GLLM.Total)
+			}
+			for i := 0; i < n; i++ {
+				s, g := "", ""
+				if i < len(res.Sarathi.Total) {
+					s = fmt.Sprintf("%g", res.Sarathi.Total[i])
+				}
+				if i < len(res.GLLM.Total) {
+					g = fmt.Sprintf("%g", res.GLLM.Total[i])
+				}
+				fmt.Fprintf(&csv, "%d,%s,%s\n", i, s, g)
+			}
+			return writeCSV("fig01_tokens.csv", csv.String())
+		}},
+		{"fig4", func() error {
+			res, err := experiments.Fig4Utilization(sc, 4, experiments.SysVLLM)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return writeCSV("fig04_tokens.csv", res.Tokens.CSV())
+		}},
+		{"fig10", func() error {
+			for _, m := range []model.Config{model.Qwen25_14B, model.Qwen25_32B} {
+				for _, ds := range []workload.Dataset{workload.ShareGPT, workload.Azure} {
+					rates := experiments.RatesShareGPT
+					if ds.Name == "azure" {
+						rates = experiments.RatesAzure
+					}
+					sweeps, err := experiments.Fig10(sc, m, ds, rates)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("Figure 10 — %s / %s (intra-node 4xL20)\n", m.Name, ds.Name)
+					for _, sw := range sweeps {
+						fmt.Print(sw.String())
+					}
+					if err := writeCSV(fmt.Sprintf("fig10_%s_%s.csv", m.Name, ds.Name),
+						experiments.SweepsCSV(sweeps)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}},
+		{"fig11", func() error {
+			res, err := experiments.Fig11Distributions(sc.Seed, 50000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return writeCSV("fig11_input_hist.csv",
+				"sharegpt:\n"+res.ShareGPT.InputHist.Render(40)+"azure:\n"+res.Azure.InputHist.Render(40))
+		}},
+		{"fig12", func() error {
+			for _, m := range []model.Config{model.Qwen25_14B, model.Qwen25_32B, model.Llama31_100B} {
+				rates := experiments.RatesAzure // cross-node axes are lower
+				if m.Name == model.Llama31_100B.Name {
+					rates = []float64{0.25, 0.5, 1}
+				}
+				sweeps, err := experiments.Fig12(sc, m, workload.ShareGPT, rates)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("Figure 12 — %s / sharegpt (4 nodes, simulated net)\n", m.Name)
+				for _, sw := range sweeps {
+					fmt.Print(sw.String())
+				}
+				if err := writeCSV(fmt.Sprintf("fig12_%s.csv", m.Name),
+					experiments.SweepsCSV(sweeps)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig13", func() error {
+			intra, err := experiments.Fig13Intra(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderScalability(intra, "Figure 13a — intra-node scaling (14B, L20)"))
+			cross, err := experiments.Fig13Cross(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderScalability(cross, "Figure 13b — cross-node scaling (14B, A100/node)"))
+			return nil
+		}},
+		{"fig14", func() error {
+			for _, ds := range []workload.Dataset{workload.ShareGPT, workload.Azure} {
+				sweeps, err := experiments.Fig14(sc, ds, []float64{0.25, 0.5, 0.75, 1})
+				if err != nil {
+					return err
+				}
+				fmt.Printf("Figure 14 — SLO attainment, Llama3.1-100B cross-node A800, %s\n", ds.Name)
+				for _, sw := range sweeps {
+					fmt.Print(sw.String())
+				}
+				if err := writeCSV(fmt.Sprintf("fig14_%s.csv", ds.Name),
+					experiments.SweepsCSV(sweeps)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig15", func() error {
+			res, err := experiments.Fig15Ablation(sc, 4, workload.ShareGPT)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		}},
+		{"fig16", func() error {
+			res, err := experiments.Fig16Sensitivity(sc, 4, workload.ShareGPT)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		}},
+		{"evolution", func() error {
+			res, err := experiments.SchedulingEvolution(sc, 4, workload.ShareGPT)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		}},
+		{"disagg", func() error {
+			res, err := experiments.DisaggRatio(sc, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		}},
+		{"table1", func() error {
+			res, err := experiments.Table1Equivalence(sc.Seed, 32, ".")
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := maybe(s.id, s.fn); err != nil {
+			return err
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", run)
+	}
+	return nil
+}

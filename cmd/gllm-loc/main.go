@@ -1,0 +1,28 @@
+// Command gllm-loc counts the Go lines of code of a source tree (Table 1's
+// size comparison row).
+//
+//	gllm-loc [-tests] [root]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gllm/internal/experiments"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "include _test.go files")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	n, err := experiments.CountGoLines(root, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gllm-loc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d non-blank Go lines under %s (tests included: %v)\n", n, root, *tests)
+}

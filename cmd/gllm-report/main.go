@@ -1,0 +1,153 @@
+// Command gllm-report regenerates the paper's headline experiments and
+// renders them into a single self-contained HTML report with SVG charts —
+// the one-page visual summary of the reproduction.
+//
+//	gllm-report -scale quick -o report.html
+//	gllm-report -scale paper -o report.html   # the full 128 s windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gllm/internal/experiments"
+	"gllm/internal/model"
+	"gllm/internal/report"
+	"gllm/internal/workload"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "report.html", "output HTML path")
+		scaleName = flag.String("scale", "quick", "quick or paper")
+		skipScale = flag.Bool("skip-scalability", false, "skip the slow Figure 13 sweeps")
+	)
+	flag.Parse()
+	if err := run(*out, *scaleName, *skipScale); err != nil {
+		fmt.Fprintln(os.Stderr, "gllm-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, scaleName string, skipScale bool) error {
+	var sc experiments.Scale
+	switch scaleName {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	start := time.Now()
+
+	rep := report.Report{
+		Title: "gLLM reproduction report",
+		Subtitle: fmt.Sprintf("Token Throttling for balanced pipeline-parallel LLM serving (SC '25) — "+
+			"simulated substrate, %s scale, seed %d", scaleName, sc.Seed),
+	}
+
+	// Figure 1.
+	fig1, err := experiments.Fig1TokenVolatility(sc, 4)
+	if err != nil {
+		return err
+	}
+	sec, err := report.TokenSeriesSection(fig1)
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, sec)
+
+	// Figure 10 (14B ShareGPT panel).
+	sweeps, err := experiments.Fig10(sc, model.Qwen25_14B, workload.ShareGPT, experiments.RatesShareGPT)
+	if err != nil {
+		return err
+	}
+	sec, err = report.SweepSection("Figure 10 — intra-node (Qwen2.5-14B, ShareGPT, 4 x L20)",
+		"gLLM holds latency flat to higher rates; TP (SGLang) wins only at low rates.", sweeps, false)
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, sec)
+
+	// Figure 12 (14B cross-node panel).
+	sweeps, err = experiments.Fig12(sc, model.Qwen25_14B, workload.ShareGPT, experiments.RatesAzure)
+	if err != nil {
+		return err
+	}
+	sec, err = report.SweepSection("Figure 12 — cross-node (Qwen2.5-14B, 4 nodes, 73.28 Gbps)",
+		"Over the slow network TP pays per-layer all-reduces; pipeline parallelism barely notices.", sweeps, false)
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, sec)
+
+	// Figure 13.
+	if !skipScale {
+		points, err := experiments.Fig13Intra(sc)
+		if err != nil {
+			return err
+		}
+		sec, err = report.ScalabilitySection("Figure 13a — intra-node max-throughput scaling (14B, L20)", points)
+		if err != nil {
+			return err
+		}
+		rep.Sections = append(rep.Sections, sec)
+		points, err = experiments.Fig13Cross(sc)
+		if err != nil {
+			return err
+		}
+		sec, err = report.ScalabilitySection("Figure 13b — cross-node scaling (14B, 1 x A100 per node)", points)
+		if err != nil {
+			return err
+		}
+		rep.Sections = append(rep.Sections, sec)
+	}
+
+	// Figure 14 (Azure SLO panel).
+	sweeps, err = experiments.Fig14(sc, workload.Azure, []float64{0.25, 0.5, 0.75, 1})
+	if err != nil {
+		return err
+	}
+	sec, err = report.SweepSection("Figure 14 — SLO attainment (Llama3.1-100B, 4 x A800 cross-node, Azure)",
+		"Goodput under TTFT <= 4 s and TPOT <= 200 ms.", sweeps, true)
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, sec)
+
+	// Figures 15/16 and Table 1 as preformatted text.
+	fig15, err := experiments.Fig15Ablation(sc, 4, workload.ShareGPT)
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, report.TextSection(
+		"Figure 15 — ablation", "Normalized to full gLLM (lower is better except throughput).", fig15.String()))
+
+	fig16, err := experiments.Fig16Sensitivity(sc, 4, workload.ShareGPT)
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, report.TextSection(
+		"Figure 16 — sensitivity", "Each knob swept around the paper defaults.", fig16.String()))
+
+	t1, err := experiments.Table1Equivalence(sc.Seed, 32, ".")
+	if err != nil {
+		return err
+	}
+	rep.Sections = append(rep.Sections, report.TextSection(
+		"Table 1 — size and output quality", "", t1.String()))
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.Render(f); err != nil {
+		return err
+	}
+	fmt.Printf("gllm-report: wrote %s (%d sections) in %.1fs\n", out, len(rep.Sections), time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunReportQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.html")
+	if err := run(out, "quick", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{"<!DOCTYPE html>", "Figure 1", "Figure 10", "Figure 14", "Table 1", "<svg"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunReportBadScale(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "r.html"), "huge", true); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

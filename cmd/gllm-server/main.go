@@ -1,0 +1,113 @@
+// Command gllm-server starts the OpenAI-compatible serving frontend backed
+// by the concurrent gLLM runtime (emulated GPU compute), mirroring the
+// paper's api_server entrypoint:
+//
+//	gllm-server -port 8000 -model-path Qwen2.5-32B -pp 4 -gpu-memory-util 0.9
+//
+// Then benchmark it with gllm-bench, or query it directly:
+//
+//	curl -s localhost:8000/v1/completions -d '{"prompt":"hello world","max_tokens":8}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gllm/internal/core"
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/runtime"
+	"gllm/internal/sched"
+	"gllm/internal/server"
+)
+
+func main() {
+	var (
+		port        = flag.Int("port", 8000, "listen port")
+		modelPath   = flag.String("model-path", "Qwen2.5-32B", "model name (paper flag --model-path)")
+		pp          = flag.Int("pp", 4, "pipeline parallel degree (paper flag --pp)")
+		gpuName     = flag.String("gpu", "L20-48GB", "GPU type")
+		memUtil     = flag.Float64("gpu-memory-util", 0.9, "GPU memory utilization")
+		schedName   = flag.String("sched", "gllm", "scheduler: gllm, sarathi, gllm-no-wt, gllm-no-ut, gllm-ck")
+		naive       = flag.Bool("use-naive-schedule", false, "use the Sarathi-Serve policy (paper flag)")
+		budget      = flag.Int("token-budget", 2048, "Sarathi token budget")
+		iterT       = flag.Int("iterp", 8, "gLLM #T")
+		maxP        = flag.Int("maxp", 2048, "gLLM #MaxP")
+		minP        = flag.Int("minp", 32, "gLLM #MinP")
+		kvThresh    = flag.Float64("kvthresh", 0.05, "gLLM KV_thresh")
+		timeScale   = flag.Float64("time-scale", 0, "emulated GPU time scale (0 = no sleeping, 1 = modeled real time)")
+		syncRuntime = flag.Bool("sync-runtime", false, "use the coupled (vLLM-like) runtime instead of async")
+		enableCPP   = flag.Bool("enable-cpp", false, "pipeline prompt chunks across micro-batches")
+		prefixCache = flag.Bool("enable-prefix-cache", false, "reuse KV across requests sharing a prefix group")
+	)
+	flag.Parse()
+	if err := run(*port, *modelPath, *pp, *gpuName, *memUtil, *schedName, *naive, *budget,
+		core.Params{IterT: *iterT, MaxP: *maxP, MinP: *minP, KVThresh: *kvThresh},
+		*timeScale, *syncRuntime, *enableCPP, *prefixCache); err != nil {
+		fmt.Fprintln(os.Stderr, "gllm-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
+	schedName string, naive bool, budget int, params core.Params,
+	timeScale float64, syncRuntime, enableCPP, prefixCache bool) error {
+
+	m, err := model.ByName(modelPath)
+	if err != nil {
+		return err
+	}
+	g, err := gpu.ByName(gpuName)
+	if err != nil {
+		return err
+	}
+	if naive {
+		schedName = "sarathi"
+	}
+	s, err := sched.ByName(schedName, budget, params)
+	if err != nil {
+		return err
+	}
+	rt, err := runtime.Start(runtime.Config{
+		Model:             m,
+		GPU:               g,
+		Topo:              network.IntraNode(pp, network.PCIe),
+		MemUtil:           memUtil,
+		Scheduler:         s,
+		Async:             !syncRuntime,
+		TimeScale:         timeScale,
+		EnableCPP:         enableCPP,
+		EnablePrefixCache: prefixCache,
+	})
+	if err != nil {
+		return err
+	}
+
+	addr := fmt.Sprintf(":%d", port)
+	httpSrv := &http.Server{Addr: addr, Handler: server.New(rt, m.Name)}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		_ = rt.Shutdown(ctx)
+	}()
+
+	fmt.Printf("gllm-server: serving %s (pp=%d, %s scheduler, async=%v) on %s\n",
+		m.Name, pp, s.Name(), !syncRuntime, addr)
+	fmt.Printf("gllm-server: KV capacity %d tokens\n", rt.KVCapacityTokens())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

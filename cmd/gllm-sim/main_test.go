@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gllm/internal/core"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+func params() core.Params { return core.DefaultParams() }
+
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	iters := filepath.Join(dir, "iters.csv")
+	util := filepath.Join(dir, "util.csv")
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+		2, 10*time.Second, 7, 0.9, 2048, params(),
+		chrome, iters, util, 2*time.Second, 100*time.Millisecond, simOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{chrome, iters, util} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s empty", f)
+		}
+	}
+}
+
+func TestRunTensorParallel(t *testing.T) {
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "tp", "sarathi", "sglang", "sharegpt", "",
+		1, 5*time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFeatureToggles(t *testing.T) {
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+		1, 8*time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0,
+		simOptions{enableCPP: true, prefixCache: true, costAware: true, convs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := workload.Poisson(stats.NewRNG(3), workload.ShareGPT, 2, 5*time.Second)
+	if err := workload.WriteJSON(f, items); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "", tracePath,
+		0, 0, 0, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"bad model", func() error {
+			return run("GPT-9", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+		{"bad gpu", func() error {
+			return run("Qwen2.5-14B", "H900", 1, 4, "pp", "gllm", "", "sharegpt", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+		{"bad sched", func() error {
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "fcfs", "", "sharegpt", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+		{"bad runtime", func() error {
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "rust", "sharegpt", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+		{"bad dataset", func() error {
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "pile", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+		{"bad parallelism", func() error {
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "dp", "gllm", "", "sharegpt", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+		{"cost-aware on sarathi", func() error {
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "sarathi", "", "sharegpt", "",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{costAware: true})
+		}},
+		{"missing trace file", func() error {
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "", "/nonexistent.json",
+				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

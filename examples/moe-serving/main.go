@@ -1,0 +1,77 @@
+// MoE serving: the paper's §6 names mixture-of-experts models as future
+// work — "variability in expert activation introduces additional
+// imbalance". This example serves Mixtral-8x7B (47B total, ~13B active
+// parameters) next to a dense model with comparable ACTIVE compute
+// (Qwen2.5-14B) and shows the MoE pathology the cost model captures: small
+// decode batches still stream most experts' weights, so MoE decode is
+// memory-bound up to much larger batch sizes — making gLLM's balanced
+// decode batching matter even more.
+//
+//	go run ./examples/moe-serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gllm/internal/engine"
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/sched"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+func main() {
+	cm := gpu.NewCostModel(model.Mixtral8x7B, gpu.L20)
+	fmt.Println("expert activation (Mixtral-8x7B, top-2 of 8):")
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		shape := gpu.BatchShape{DecodeTokens: b, DecodeCtxSum: float64(b) * 500}
+		fmt.Printf("  %4d decode tokens -> %.2f experts streamed, layer time %v\n",
+			b, cm.ActivatedExperts(b), cm.LayerTime(shape))
+	}
+	fmt.Println()
+
+	items := workload.Poisson(stats.NewRNG(23), workload.ShareGPT, 4, 20*time.Second)
+	fmt.Printf("serving %d ShareGPT requests at 4 req/s on 4 x L20:\n\n", len(items))
+	fmt.Printf("%-14s %-10s %10s %10s %12s\n", "model", "scheduler", "TPOT(ms)", "E2EL(s)", "tput(tok/s)")
+
+	for _, m := range []model.Config{model.Qwen25_14B, model.Mixtral8x7B} {
+		var rows []string
+		var e2e []float64
+		for _, sys := range []struct {
+			name  string
+			sched sched.Scheduler
+			rt    engine.RuntimeModel
+		}{
+			{"sarathi", sched.NewSarathi(2048), engine.VLLMRuntime},
+			{"gllm", sched.NewDefaultThrottle(), engine.GLLMRuntime},
+		} {
+			res, err := engine.RunPipeline(engine.Config{
+				Model:     m,
+				GPU:       gpu.L20,
+				Topo:      network.IntraNode(4, network.PCIe),
+				MemUtil:   0.9,
+				Scheduler: sys.sched,
+				Runtime:   sys.rt,
+			}, items)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, fmt.Sprintf("%-14s %-10s %10.1f %10.2f %12.1f",
+				m.Name, sys.name, res.Report.TPOT.Mean*1e3, res.Report.E2E.Mean, res.Report.TokenThroughput))
+			e2e = append(e2e, res.Report.E2E.Mean)
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		fmt.Printf("  -> gLLM E2E advantage on %s: %.2fx\n\n", m.Name, e2e[0]/e2e[1])
+	}
+	fmt.Println("note how MoE flattens the decode cost curve: a 64-token batch costs")
+	fmt.Println("barely more than a 16-token one because both stream all 8 experts.")
+	fmt.Println("token-count balancing alone therefore captures less of the win on MoE —")
+	fmt.Println("exactly why the paper's §6 calls for expert-aware load balancing as")
+	fmt.Println("future work (per-batch expert activation variance is the next lever).")
+}

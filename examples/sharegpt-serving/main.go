@@ -1,0 +1,78 @@
+// ShareGPT serving: the workload the paper's introduction motivates —
+// chat-style traffic at increasing request rates on an intra-node 4 x L20
+// deployment. The example sweeps request rates for the vLLM-like baseline
+// and gLLM on the virtual-time engine, printing the latency/throughput
+// curves of Figure 10 and showing where each system's TTFT "turning point"
+// (queue blow-up) lands.
+//
+//	go run ./examples/sharegpt-serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gllm/internal/engine"
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/sched"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+func main() {
+	const window = 24 * time.Second
+	rates := []float64{1, 2, 4, 6, 8}
+
+	systems := []struct {
+		name  string
+		sched func() sched.Scheduler
+		rt    engine.RuntimeModel
+	}{
+		{"vllm(sarathi)", func() sched.Scheduler { return sched.NewSarathi(2048) }, engine.VLLMRuntime},
+		{"gllm(throttle)", func() sched.Scheduler { return sched.NewDefaultThrottle() }, engine.GLLMRuntime},
+	}
+
+	fmt.Println("ShareGPT serving sweep — Qwen2.5-14B on 4 x L20 (PCIe)")
+	fmt.Printf("%-15s %6s %10s %10s %10s %12s\n", "system", "rate", "TTFT(s)", "TPOT(ms)", "E2EL(s)", "tput(tok/s)")
+
+	turning := map[string]float64{}
+	for _, sys := range systems {
+		var prevTTFT float64
+		for _, rate := range rates {
+			items := workload.Poisson(stats.NewRNG(7), workload.ShareGPT, rate, window)
+			res, err := engine.RunPipeline(engine.Config{
+				Model:     model.Qwen25_14B,
+				GPU:       gpu.L20,
+				Topo:      network.IntraNode(4, network.PCIe),
+				MemUtil:   0.9,
+				Scheduler: sys.sched(),
+				Runtime:   sys.rt,
+			}, items)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := res.Report
+			fmt.Printf("%-15s %6.1f %10.3f %10.1f %10.2f %12.1f\n",
+				sys.name, rate, r.TTFT.Mean, r.TPOT.Mean*1e3, r.E2E.Mean, r.TokenThroughput)
+			// Mark the TTFT turning point: the first rate where mean TTFT
+			// more than triples versus the previous rate.
+			if prevTTFT > 0 && r.TTFT.Mean > 3*prevTTFT && turning[sys.name] == 0 {
+				turning[sys.name] = rate
+			}
+			prevTTFT = r.TTFT.Mean
+		}
+		fmt.Println()
+	}
+
+	for _, sys := range systems {
+		if tp := turning[sys.name]; tp > 0 {
+			fmt.Printf("%s TTFT turning point near %.1f req/s\n", sys.name, tp)
+		} else {
+			fmt.Printf("%s showed no TTFT blow-up in this rate range\n", sys.name)
+		}
+	}
+	fmt.Println("\n(the paper reports gLLM's turning point at 2-6x higher rates than vLLM's)")
+}

@@ -1,0 +1,63 @@
+// SLO tuning: the paper notes (§4.4) that gLLM's #T hyperparameter trades
+// TTFT against TPOT — "we can fine-tune the hyperparameter #T to balance
+// TTFT and TPOT performance". This example automates that: it sweeps #T
+// and picks the setting with the best SLO attainment for a target
+// workload, the workflow an operator would actually run.
+//
+//	go run ./examples/slo-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gllm/internal/core"
+	"gllm/internal/engine"
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/sched"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+func main() {
+	const (
+		rate    = 5.0
+		window  = 24 * time.Second
+		sloTTFT = 2 * time.Second
+		sloTPOT = 100 * time.Millisecond
+	)
+	items := workload.Poisson(stats.NewRNG(3), workload.ShareGPT, rate, window)
+	fmt.Printf("tuning #T for %d ShareGPT requests at %.0f req/s (SLO: TTFT<=%v, TPOT<=%v)\n\n",
+		len(items), rate, sloTTFT, sloTPOT)
+	fmt.Printf("%4s %10s %10s %10s %12s %8s\n", "#T", "TTFT(s)", "TPOT(ms)", "E2EL(s)", "tput(tok/s)", "SLO%")
+
+	bestT, bestAtt := 0, -1.0
+	for _, iterT := range []int{1, 2, 4, 8, 16, 32} {
+		params := core.DefaultParams()
+		params.IterT = iterT
+		res, err := engine.RunPipeline(engine.Config{
+			Model:     model.Qwen25_14B,
+			GPU:       gpu.L20,
+			Topo:      network.IntraNode(4, network.PCIe),
+			MemUtil:   0.9,
+			Scheduler: sched.NewThrottle(params, core.VariantFull),
+			Runtime:   engine.GLLMRuntime,
+		}, items)
+		if err != nil {
+			log.Fatal(err)
+		}
+		att := res.Collector.SLOAttainment(sloTTFT, sloTPOT)
+		fmt.Printf("%4d %10.3f %10.1f %10.2f %12.1f %8.1f\n",
+			iterT, res.Report.TTFT.Mean, res.Report.TPOT.Mean*1e3,
+			res.Report.E2E.Mean, res.Report.TokenThroughput, att*100)
+		if att > bestAtt {
+			bestAtt, bestT = att, iterT
+		}
+	}
+	fmt.Printf("\nbest setting: #T=%d with %.1f%% SLO attainment\n", bestT, bestAtt*100)
+	fmt.Println("(small #T prefills aggressively — good TTFT, bursty batches;")
+	fmt.Println(" large #T smooths micro-batches — good TPOT, slower first token)")
+}

@@ -1,0 +1,3 @@
+module gllm
+
+go 1.22

@@ -1,0 +1,180 @@
+// Package client is the open-loop benchmark client (the Go analogue of the
+// paper's benchmarks/benchmark_serving.py): it replays a workload trace
+// against an OpenAI-compatible endpoint at the trace's arrival times,
+// measuring per-request TTFT, TPOT and E2EL from the SSE stream.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gllm/internal/metrics"
+	"gllm/internal/workload"
+)
+
+// Options configures a benchmark run.
+type Options struct {
+	// BaseURL of the server, e.g. "http://127.0.0.1:8000".
+	BaseURL string
+	// Model name sent in each request.
+	Model string
+	// Items is the trace to replay (sorted by arrival).
+	Items []workload.Item
+	// SpeedUp divides arrival gaps (2 = replay twice as fast). Default 1.
+	SpeedUp float64
+	// HTTPClient overrides the default client.
+	HTTPClient *http.Client
+	// UseSyntheticPrompt sends prompt_len instead of constructing a real
+	// prompt string (cheaper for large prompts). Default true for lengths
+	// above 4096.
+	UseSyntheticPrompt bool
+}
+
+// Result aggregates a benchmark run.
+type Result struct {
+	Collector *metrics.Collector
+	Report    metrics.Report
+	Duration  time.Duration
+	Errors    []error
+}
+
+// Run replays the trace and blocks until every request completes or ctx is
+// cancelled.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("client: empty BaseURL")
+	}
+	if err := workload.Validate(opts.Items); err != nil {
+		return nil, err
+	}
+	if opts.SpeedUp == 0 {
+		opts.SpeedUp = 1
+	}
+	if opts.SpeedUp < 0 {
+		return nil, fmt.Errorf("client: negative SpeedUp")
+	}
+	httpc := opts.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+
+	var (
+		mu        sync.Mutex
+		collector metrics.Collector
+		errs      []error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for i, it := range opts.Items {
+		wg.Add(1)
+		go func(id int, item workload.Item) {
+			defer wg.Done()
+			at := time.Duration(float64(item.Arrival) / opts.SpeedUp)
+			select {
+			case <-time.After(at - time.Since(start)):
+			case <-ctx.Done():
+				mu.Lock()
+				errs = append(errs, ctx.Err())
+				mu.Unlock()
+				return
+			}
+			rec, err := sendOne(ctx, httpc, opts, int64(id), item)
+			mu.Lock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("request %d: %w", id, err))
+			} else {
+				collector.Add(rec)
+			}
+			mu.Unlock()
+		}(i, it)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	return &Result{
+		Collector: &collector,
+		Report:    collector.Report(dur),
+		Duration:  dur,
+		Errors:    errs,
+	}, nil
+}
+
+// sendOne issues one streaming completion and measures its latencies.
+func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, item workload.Item) (metrics.Record, error) {
+	body := map[string]interface{}{
+		"model":      opts.Model,
+		"max_tokens": item.OutputLen,
+		"stream":     true,
+	}
+	if opts.UseSyntheticPrompt || item.PromptLen > 4096 {
+		body["prompt_len"] = item.PromptLen
+		body["prompt"] = ""
+	} else {
+		body["prompt"] = strings.TrimSpace(strings.Repeat("tok ", item.PromptLen))
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return metrics.Record{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+"/v1/completions", bytes.NewReader(buf))
+	if err != nil {
+		return metrics.Record{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	sent := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return metrics.Record{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return metrics.Record{}, fmt.Errorf("status %s", resp.Status)
+	}
+
+	var (
+		firstToken time.Time
+		tokens     int
+	)
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		if payload == "[DONE]" {
+			break
+		}
+		if tokens == 0 {
+			firstToken = time.Now()
+		}
+		tokens++
+	}
+	if err := scanner.Err(); err != nil {
+		return metrics.Record{}, err
+	}
+	if tokens == 0 {
+		return metrics.Record{}, fmt.Errorf("no tokens streamed")
+	}
+	end := time.Now()
+	rec := metrics.Record{
+		ID:           id,
+		Arrival:      sent.Sub(sent), // zero-based; latencies are relative
+		TTFT:         firstToken.Sub(sent),
+		E2E:          end.Sub(sent),
+		PromptTokens: item.PromptLen,
+		OutputTokens: tokens,
+	}
+	if tokens > 1 {
+		rec.TPOT = end.Sub(firstToken) / time.Duration(tokens-1)
+	}
+	return rec, nil
+}

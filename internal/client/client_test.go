@@ -1,0 +1,130 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/runtime"
+	"gllm/internal/sched"
+	"gllm/internal/server"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+func benchTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	rt, err := runtime.Start(runtime.Config{
+		Model:     model.Qwen25_14B,
+		GPU:       gpu.L20,
+		Topo:      network.IntraNode(4, network.PCIe),
+		Scheduler: sched.NewDefaultThrottle(),
+		Async:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(rt, "Qwen2.5-14B"))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	})
+	return ts
+}
+
+func TestEndToEndBenchmark(t *testing.T) {
+	ts := benchTarget(t)
+	items := workload.Poisson(stats.NewRNG(5), workload.ShareGPT, 20, 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Options{
+		BaseURL:            ts.URL,
+		Model:              "Qwen2.5-14B",
+		Items:              items,
+		SpeedUp:            4,
+		UseSyntheticPrompt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Report.Requests != len(items) {
+		t.Fatalf("finished %d/%d", res.Report.Requests, len(items))
+	}
+	if res.Report.TTFT.Mean <= 0 || res.Report.E2E.Mean <= 0 {
+		t.Fatalf("latencies not measured: %+v", res.Report)
+	}
+	// Output token counts must match what we asked for.
+	var want int64
+	for _, it := range items {
+		want += int64(it.OutputLen)
+	}
+	if res.Report.OutputTokens != want {
+		t.Fatalf("output tokens = %d, want %d", res.Report.OutputTokens, want)
+	}
+	if res.Report.TTFT.Mean > res.Report.E2E.Mean {
+		t.Fatal("TTFT exceeds E2E")
+	}
+}
+
+func TestRealPromptPath(t *testing.T) {
+	ts := benchTarget(t)
+	items := []workload.Item{{PromptLen: 12, OutputLen: 3}}
+	res, err := Run(context.Background(), Options{
+		BaseURL: ts.URL,
+		Model:   "Qwen2.5-14B",
+		Items:   items,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	recs := res.Collector.Records()
+	if len(recs) != 1 || recs[0].OutputTokens != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].TPOT <= 0 {
+		t.Fatalf("TPOT = %v", recs[0].TPOT)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Options{
+		BaseURL: "http://x",
+		Items:   []workload.Item{{PromptLen: 0, OutputLen: 1}},
+	}); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+	if _, err := Run(context.Background(), Options{BaseURL: "http://x", SpeedUp: -1}); err == nil {
+		t.Fatal("negative speedup accepted")
+	}
+}
+
+func TestServerDownReportsErrors(t *testing.T) {
+	res, err := Run(context.Background(), Options{
+		BaseURL: "http://127.0.0.1:1", // nothing listens here
+		Items:   []workload.Item{{PromptLen: 5, OutputLen: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 1 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if res.Report.Requests != 0 {
+		t.Fatal("failed request counted as finished")
+	}
+}

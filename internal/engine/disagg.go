@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/kvcache"
+	"gllm/internal/metrics"
+	"gllm/internal/request"
+	"gllm/internal/sched"
+	"gllm/internal/sim"
+	"gllm/internal/workload"
+)
+
+// Prefill/decode disaggregation (Splitwise, DistServe — the architectures
+// the paper positions against, §1–§2): the GPUs split into a prefill
+// replica and a decode replica, each a full-model pipeline, connected by a
+// KV-cache transfer link. The paper's criticisms become measurable here:
+// the prefill:decode GPU ratio must be tuned per workload, imbalance
+// persists within each side, and the KV hand-off burns bandwidth.
+
+// DisaggConfig extends Config with the GPU split.
+type DisaggConfig struct {
+	Config
+	// PrefillGPUs of the topology's devices form the prefill replica; the
+	// rest decode. Must leave at least one GPU on each side.
+	PrefillGPUs int
+}
+
+// disaggRun is the live state of one disaggregated simulation.
+type disaggRun struct {
+	cfg  DisaggConfig
+	eng  *sim.Engine
+	cost gpu.CostModel
+
+	prefill *replica
+	decode  *replica
+
+	// staging holds requests whose KV transfer completed but whose decode
+	// replica allocation did not fit yet.
+	staging []*request.Request
+
+	collector       metrics.Collector
+	pendingArrivals int
+	finishedCount   int
+	totalRequests   int
+	lastFinish      time.Duration
+	transfers       int
+	transferBytes   int64
+	injections      int
+	aborted         error
+}
+
+// replica is one side (prefill or decode) of the deployment.
+type replica struct {
+	name        string
+	pool        *sched.Pool
+	sched       sched.Scheduler
+	stages      []*sim.Resource
+	stageLayers []int
+	inFlight    int
+}
+
+// RunDisaggregated simulates the trace on a disaggregated deployment.
+// Scheduling inside each replica uses Sarathi (the baseline policy these
+// systems employ); cfg.Scheduler is ignored.
+func RunDisaggregated(cfg DisaggConfig, items []workload.Item) (*Result, error) {
+	cfg.applyDefaults()
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewSarathi(2048) // satisfies validate; per-replica schedulers below
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	total := cfg.Topo.GPUs()
+	if cfg.PrefillGPUs < 1 || cfg.PrefillGPUs >= total {
+		return nil, fmt.Errorf("engine: disaggregation needs 1..%d prefill GPUs, got %d", total-1, cfg.PrefillGPUs)
+	}
+	depthP := cfg.PrefillGPUs
+	depthD := total - cfg.PrefillGPUs
+	if depthP > cfg.Model.NumLayers || depthD > cfg.Model.NumLayers {
+		return nil, fmt.Errorf("engine: replica depth exceeds %d layers", cfg.Model.NumLayers)
+	}
+	cost := gpu.NewCostModel(cfg.Model, cfg.GPU)
+
+	r := &disaggRun{
+		cfg:             cfg,
+		eng:             sim.New(),
+		cost:            cost,
+		pendingArrivals: len(items),
+		totalRequests:   len(items),
+	}
+	mkReplica := func(name string, depth int, budget int) (*replica, error) {
+		layers := cfg.Model.StageLayers(depth)
+		kvCap := cost.KVCapacityTokensPP(layers, cfg.MemUtil)
+		if kvCap < int64(cfg.KVBlockSize) {
+			return nil, fmt.Errorf("engine: %s does not fit on %d x %s (%s replica)",
+				cfg.Model.Name, depth, cfg.GPU.Name, name)
+		}
+		rep := &replica{
+			name:        name,
+			pool:        sched.NewPool(kvcache.New(kvCap, cfg.KVBlockSize), depth),
+			sched:       sched.NewSarathi(budget),
+			stageLayers: layers,
+		}
+		rep.stages = make([]*sim.Resource, depth)
+		for i := range rep.stages {
+			rep.stages[i] = sim.NewResource(r.eng, fmt.Sprintf("%s-stage%d", name, i))
+		}
+		return rep, nil
+	}
+	var err error
+	if r.prefill, err = mkReplica("prefill", depthP, 2048); err != nil {
+		return nil, err
+	}
+	if r.decode, err = mkReplica("decode", depthD, 4096); err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		if int64(it.PromptLen+1) > r.prefill.pool.KV.CapacityTokens() ||
+			int64(it.PromptLen+it.OutputLen) > r.decode.pool.KV.CapacityTokens() {
+			return nil, fmt.Errorf("engine: request larger than a replica's KV capacity")
+		}
+	}
+	if err := workload.Validate(items); err != nil {
+		return nil, err
+	}
+
+	id := int64(0)
+	for _, it := range items {
+		item := it
+		reqID := id
+		id++
+		r.eng.At(item.Arrival, func() {
+			r.pendingArrivals--
+			r.prefill.pool.Add(newRequest(reqID, item))
+			r.tryInject(r.prefill)
+		})
+	}
+	r.eng.Run()
+	if r.aborted != nil {
+		return nil, r.aborted
+	}
+	if r.finishedCount != r.totalRequests {
+		return nil, fmt.Errorf("engine: only %d/%d requests finished (disaggregation stall?)",
+			r.finishedCount, r.totalRequests)
+	}
+
+	makespan := r.lastFinish
+	res := &Result{
+		SchedulerName: fmt.Sprintf("disagg-%dp%dd", depthP, depthD),
+		RuntimeName:   cfg.Runtime.Name,
+		Requests:      r.totalRequests,
+		Report:        r.collector.Report(makespan),
+		Collector:     &r.collector,
+		Preemptions:   r.prefill.pool.Preemptions() + r.decode.pool.Preemptions(),
+		Injections:    r.injections,
+		Makespan:      makespan,
+	}
+	if makespan > 0 {
+		var busy time.Duration
+		for _, st := range append(append([]*sim.Resource{}, r.prefill.stages...), r.decode.stages...) {
+			busy += st.BusyTime()
+		}
+		res.BubbleFraction = 1 - float64(busy)/float64(makespan*time.Duration(total))
+	}
+	return res, nil
+}
+
+// tryInject fills the replica's free micro-batch slots.
+func (r *disaggRun) tryInject(rep *replica) {
+	if r.aborted != nil {
+		return
+	}
+	if r.eng.Now() > r.cfg.MaxVirtualTime {
+		r.aborted = fmt.Errorf("engine: exceeded MaxVirtualTime %v (disaggregation stall or overload)", r.cfg.MaxVirtualTime)
+		return
+	}
+	for rep.inFlight < len(rep.stages) {
+		b := rep.sched.Schedule(rep.pool, r.eng.Now())
+		if b.Empty() {
+			return
+		}
+		rep.inFlight++
+		r.injections++
+		shape := b.Shape()
+		r.startStage(rep, 0, b, shape)
+	}
+}
+
+func (r *disaggRun) startStage(rep *replica, i int, b *sched.Batch, shape gpu.BatchShape) {
+	dur := r.cost.StageTime(shape, rep.stageLayers[i])
+	rep.stages[i].Submit(dur, func() {
+		if i+1 < len(rep.stages) {
+			actBytes := int64(shape.Tokens()) * r.cfg.Model.ActivationBytesPerToken()
+			// Intra-replica hop: adjacent GPUs.
+			xfer := r.cfg.Topo.Hop(replicaHop(rep, r, i)).TransferTime(actBytes)
+			r.eng.After(xfer, func() { r.startStage(rep, i+1, b, shape) })
+			return
+		}
+		r.completeBatch(rep, b)
+	})
+}
+
+// replicaHop maps a stage boundary inside a replica to a topology hop
+// index (decode replica stages sit after the prefill GPUs).
+func replicaHop(rep *replica, r *disaggRun, i int) int {
+	if rep == r.decode {
+		return r.cfg.PrefillGPUs + i
+	}
+	return i
+}
+
+func (r *disaggRun) completeBatch(rep *replica, b *sched.Batch) {
+	finished := rep.pool.Complete(b, r.eng.Now())
+	for _, f := range finished {
+		r.collector.Observe(f)
+		r.finishedCount++
+		r.lastFinish = r.eng.Now()
+	}
+	rep.inFlight--
+	if rep == r.prefill {
+		// Requests that completed prefill migrate: release, transfer KV,
+		// adopt on the decode side.
+		for _, c := range b.Chunks {
+			req := c.Req
+			if req.State() != request.StateDecoding || req.DecodeBusy() {
+				continue
+			}
+			rep.pool.ReleaseDecoding(req)
+			kvBytes := int64(req.ContextLen()) * r.cfg.Model.KVBytesPerToken()
+			// The hand-off crosses the boundary hop between the replicas.
+			xfer := r.cfg.Topo.Hop(r.cfg.PrefillGPUs - 1).TransferTime(kvBytes)
+			r.transfers++
+			r.transferBytes += kvBytes
+			r.eng.After(xfer, func() {
+				r.prefill.pool.KV.Free(kvcache.SeqID(req.ID))
+				r.staging = append(r.staging, req)
+				r.drainStaging()
+				r.tryInject(r.prefill)
+				r.tryInject(r.decode)
+			})
+		}
+	}
+	r.drainStaging()
+	r.tryInject(rep)
+	if rep == r.decode {
+		r.tryInject(r.prefill)
+	} else {
+		r.tryInject(r.decode)
+	}
+}
+
+// drainStaging admits transferred requests whose context fits the decode
+// replica's KV (pull-based admission, like DistServe).
+func (r *disaggRun) drainStaging() {
+	kept := r.staging[:0]
+	for _, req := range r.staging {
+		id := kvcache.SeqID(req.ID)
+		need := req.ContextLen()
+		if r.decode.pool.KV.CanAllocate(id, need) {
+			if err := r.decode.pool.KV.Allocate(id, need); err != nil {
+				panic(fmt.Sprintf("engine: disagg adopt alloc: %v", err))
+			}
+			r.decode.pool.AdoptDecoding(req)
+		} else {
+			kept = append(kept, req)
+		}
+	}
+	r.staging = kept
+}

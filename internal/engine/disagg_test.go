@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/sched"
+	"gllm/internal/workload"
+)
+
+func disaggConfig(prefillGPUs int) DisaggConfig {
+	return DisaggConfig{
+		Config: Config{
+			Model:   model.Qwen25_14B,
+			GPU:     gpu.L20,
+			Topo:    network.IntraNode(4, network.PCIe),
+			MemUtil: 0.9,
+			Runtime: GLLMRuntime,
+		},
+		PrefillGPUs: prefillGPUs,
+	}
+}
+
+func TestDisaggregatedServesTrace(t *testing.T) {
+	items := shortTrace(1, 2, 15*time.Second)
+	res, err := RunDisaggregated(disaggConfig(2), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Requests != len(items) {
+		t.Fatalf("requests = %d/%d", res.Report.Requests, len(items))
+	}
+	if res.SchedulerName != "disagg-2p2d" {
+		t.Fatalf("name = %s", res.SchedulerName)
+	}
+	if res.Report.TTFT.Mean <= 0 || res.Report.TPOT.Mean <= 0 {
+		t.Fatalf("latencies: %+v", res.Report)
+	}
+	// Output token accounting must survive the migration.
+	var wantOut int64
+	for _, it := range items {
+		wantOut += int64(it.OutputLen)
+	}
+	if res.Report.OutputTokens != wantOut {
+		t.Fatalf("output tokens = %d, want %d", res.Report.OutputTokens, wantOut)
+	}
+}
+
+func TestDisaggregatedDeterministic(t *testing.T) {
+	items := shortTrace(5, 2, 10*time.Second)
+	a, err := RunDisaggregated(disaggConfig(2), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDisaggregated(disaggConfig(2), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Injections != b.Injections {
+		t.Fatal("disaggregated runs not deterministic")
+	}
+}
+
+func TestDisaggregatedRatioMatters(t *testing.T) {
+	// The paper's §2 criticism: the prefill:decode GPU ratio must match the
+	// workload. A decode-heavy trace (short prompts, long outputs) should
+	// clearly prefer fewer prefill GPUs.
+	decodeHeavy := workload.Uniform(24, 64, 400, 500*time.Millisecond)
+	e2e := map[int]float64{}
+	for _, p := range []int{1, 3} {
+		res, err := RunDisaggregated(disaggConfig(p), decodeHeavy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2e[p] = res.Report.E2E.Mean
+	}
+	if e2e[1] >= e2e[3] {
+		t.Fatalf("decode-heavy trace: 1P3D E2E %.2f >= 3P1D %.2f (ratio insensitivity?)", e2e[1], e2e[3])
+	}
+}
+
+func TestUnifiedGLLMBeatsDisaggregatedHere(t *testing.T) {
+	// On these small mixed workloads, the unified gLLM deployment (all 4
+	// GPUs for both phases) should at least match the best static split —
+	// the flexibility argument the paper makes.
+	items := shortTrace(11, 3, 15*time.Second)
+	uni, err := RunPipeline(testConfig(sched.NewDefaultThrottle(), GLLMRuntime), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := -1.0
+	for _, p := range []int{1, 2, 3} {
+		res, err := RunDisaggregated(disaggConfig(p), items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || res.Report.TokenThroughput > best {
+			best = res.Report.TokenThroughput
+		}
+	}
+	if uni.Report.TokenThroughput < best*0.95 {
+		t.Fatalf("unified gLLM tput %.1f well below best disagg %.1f", uni.Report.TokenThroughput, best)
+	}
+}
+
+func TestDisaggregatedErrors(t *testing.T) {
+	items := workload.Uniform(1, 10, 2, 0)
+	bad := disaggConfig(0)
+	if _, err := RunDisaggregated(bad, items); err == nil {
+		t.Fatal("0 prefill GPUs accepted")
+	}
+	bad = disaggConfig(4)
+	if _, err := RunDisaggregated(bad, items); err == nil {
+		t.Fatal("all-prefill split accepted")
+	}
+	// Model too big for a 1-GPU replica.
+	big := disaggConfig(1)
+	big.Model = model.Llama31_100B
+	if _, err := RunDisaggregated(big, items); err == nil {
+		t.Fatal("100B single-GPU prefill replica accepted")
+	}
+}

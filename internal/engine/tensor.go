@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/kvcache"
+	"gllm/internal/metrics"
+	"gllm/internal/network"
+	"gllm/internal/sched"
+	"gllm/internal/sim"
+	"gllm/internal/workload"
+)
+
+// tensorRun is the live state of one tensor-parallel simulation (the
+// SGLang-like baseline): one iteration at a time over the whole model, each
+// layer paying two all-reduces on the TP link.
+type tensorRun struct {
+	cfg       Config
+	eng       *sim.Engine
+	cost      gpu.CostModel
+	pool      *sched.Pool
+	device    *sim.Resource
+	driverCPU *sim.Resource
+
+	running    bool
+	injections int
+	collector  metrics.Collector
+	iterations []IterRecord
+
+	pendingArrivals int
+	finishedCount   int
+	totalRequests   int
+	lastFinish      time.Duration
+	aborted         error
+}
+
+// RunTensor simulates serving the trace on a tensor-parallel deployment
+// spanning all GPUs in cfg.Topo. The scheduler sees a pipeline depth of 1:
+// there is exactly one in-flight batch.
+func RunTensor(cfg Config, items []workload.Item) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tp := cfg.Topo.GPUs()
+	cost := gpu.NewCostModel(cfg.Model, cfg.GPU)
+	kvCap := cost.KVCapacityTokensTP(tp, cfg.MemUtil)
+	if kvCap < int64(cfg.KVBlockSize) {
+		return nil, fmt.Errorf("engine: %s does not fit on %d x %s under TP (KV capacity %d tokens)",
+			cfg.Model.Name, tp, cfg.GPU.Name, kvCap)
+	}
+	if err := validateWorkload(items, kvCap); err != nil {
+		return nil, err
+	}
+
+	r := &tensorRun{
+		cfg:             cfg,
+		eng:             sim.New(),
+		cost:            cost,
+		pool:            sched.NewPool(kvcache.New(kvCap, cfg.KVBlockSize), 1),
+		pendingArrivals: len(items),
+		totalRequests:   len(items),
+	}
+	r.device = sim.NewResource(r.eng, "tp-device")
+	r.driverCPU = sim.NewResource(r.eng, "driver-cpu")
+
+	r.pool.EnablePrefixCache = cfg.EnablePrefixCache
+	r.pool.AllowPipelinedChunks = cfg.EnableCPP
+	for i, it := range items {
+		id := int64(i)
+		item := it
+		r.eng.At(item.Arrival, func() {
+			r.pendingArrivals--
+			r.pool.Add(newRequest(id, item))
+			r.tryInject()
+		})
+	}
+
+	r.eng.Run()
+	if r.aborted != nil {
+		return nil, r.aborted
+	}
+	if r.finishedCount != r.totalRequests {
+		return nil, fmt.Errorf("engine: only %d/%d requests finished (scheduling deadlock?)",
+			r.finishedCount, r.totalRequests)
+	}
+
+	makespan := r.lastFinish
+	res := &Result{
+		SchedulerName:    cfg.Scheduler.Name(),
+		RuntimeName:      cfg.Runtime.Name,
+		Requests:         r.totalRequests,
+		Report:           r.collector.Report(makespan),
+		Collector:        &r.collector,
+		Iterations:       r.iterations,
+		Preemptions:      r.pool.Preemptions(),
+		Injections:       r.injections,
+		Makespan:         makespan,
+		KVCapacityTokens: kvCap,
+	}
+	if makespan > 0 {
+		res.BubbleFraction = 1 - float64(r.device.BusyTime())/float64(makespan)
+	}
+	return res, nil
+}
+
+// IterationTime prices one TP iteration: per-layer sharded compute plus two
+// ring all-reduces of the activation tensor per layer over the TP link.
+func tensorIterationTime(cost gpu.CostModel, topo network.Topology, shape gpu.BatchShape) time.Duration {
+	tp := topo.GPUs()
+	layer := cost.TensorParallelLayerTime(shape, tp)
+	actBytes := int64(shape.Tokens()) * cost.Model.ActivationBytesPerToken()
+	comm := topo.TPLink.AllReduceTime(actBytes, tp)
+	return time.Duration(cost.Model.NumLayers) * (layer + 2*comm)
+}
+
+func (r *tensorRun) tryInject() {
+	if r.aborted != nil || r.running {
+		return
+	}
+	if r.eng.Now() > r.cfg.MaxVirtualTime {
+		r.aborted = fmt.Errorf("engine: exceeded MaxVirtualTime %v (deadlock or overload)", r.cfg.MaxVirtualTime)
+		return
+	}
+	b := r.cfg.Scheduler.Schedule(r.pool, r.eng.Now())
+	if b.Empty() {
+		return
+	}
+	r.running = true
+	r.injections++
+	shape := b.Shape()
+	r.iterations = append(r.iterations, IterRecord{
+		Time:    r.eng.Now(),
+		Prefill: b.PrefillTokens(),
+		Decode:  b.DecodeTokens(),
+	})
+	iter := tensorIterationTime(r.cost, r.cfg.Topo, shape)
+	run := func() {
+		r.device.Submit(iter, func() {
+			finished := r.pool.Complete(b, r.eng.Now())
+			for _, f := range finished {
+				r.collector.Observe(f)
+				r.finishedCount++
+				r.lastFinish = r.eng.Now()
+			}
+			r.running = false
+			r.tryInject()
+		})
+	}
+	prep := r.cfg.Runtime.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
+	if r.cfg.Runtime.Coupled {
+		r.driverCPU.Submit(prep, run)
+	} else if prep > 0 {
+		r.eng.After(prep, run)
+	} else {
+		run()
+	}
+}

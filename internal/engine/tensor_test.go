@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/sched"
+	"gllm/internal/workload"
+)
+
+func tpConfig(topo network.Topology) Config {
+	return Config{
+		Model:     model.Qwen25_14B,
+		GPU:       gpu.L20,
+		Topo:      topo,
+		MemUtil:   0.9,
+		Scheduler: sched.NewSarathi(2048),
+		Runtime:   SGLangRuntime,
+	}
+}
+
+func TestTensorServesTraceToCompletion(t *testing.T) {
+	items := shortTrace(1, 1, 10*time.Second)
+	res, err := RunTensor(tpConfig(network.IntraNode(4, network.PCIe)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Requests != len(items) {
+		t.Fatalf("requests = %d", res.Report.Requests)
+	}
+	if res.Report.TokenThroughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestTensorLowRateLatencyBeatsPipeline(t *testing.T) {
+	// Paper finding (5): intra-node TP wins latency at LOW request rates
+	// because each forward spreads across 4 GPUs; PP executes a stage
+	// sequence. Compare E2E at a trickle rate.
+	items := workload.Uniform(5, 512, 32, 10*time.Second) // idle system per request
+	tpRes, err := RunTensor(tpConfig(network.IntraNode(4, network.PCIe)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppCfg := testConfig(sched.NewDefaultThrottle(), GLLMRuntime)
+	ppRes, err := RunPipeline(ppCfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpRes.Report.E2E.Mean >= ppRes.Report.E2E.Mean {
+		t.Fatalf("TP E2E %.3fs >= PP %.3fs at low rate", tpRes.Report.E2E.Mean, ppRes.Report.E2E.Mean)
+	}
+}
+
+func TestCrossNodeTPCollapses(t *testing.T) {
+	// Paper finding: TP over the slow simulated network suffers badly,
+	// while PP barely notices. Compare the same engine across links.
+	items := workload.Uniform(8, 256, 64, 2*time.Second)
+	fast, err := RunTensor(tpConfig(network.IntraNode(4, network.PCIe)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunTensor(tpConfig(network.CrossNode(4, 1, network.PCIe, network.SimulatedNet)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Report.E2E.Mean <= fast.Report.E2E.Mean*1.5 {
+		t.Fatalf("cross-node TP E2E %.3fs not >> intra-node %.3fs",
+			slow.Report.E2E.Mean, fast.Report.E2E.Mean)
+	}
+
+	// PP on the same slow links degrades far less (relative to its own
+	// intra-node performance).
+	ppFast, err := RunPipeline(testConfig(sched.NewDefaultThrottle(), GLLMRuntime), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppSlowCfg := testConfig(sched.NewDefaultThrottle(), GLLMRuntime)
+	ppSlowCfg.Topo = network.CrossNode(4, 1, network.PCIe, network.SimulatedNet)
+	ppSlow, err := RunPipeline(ppSlowCfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpPenalty := slow.Report.E2E.Mean / fast.Report.E2E.Mean
+	ppPenalty := ppSlow.Report.E2E.Mean / ppFast.Report.E2E.Mean
+	if ppPenalty >= tpPenalty {
+		t.Fatalf("PP cross-node penalty %.2fx >= TP penalty %.2fx", ppPenalty, tpPenalty)
+	}
+}
+
+func TestTensorDeterministic(t *testing.T) {
+	items := shortTrace(9, 1, 8*time.Second)
+	a, err := RunTensor(tpConfig(network.IntraNode(4, network.PCIe)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTensor(tpConfig(network.IntraNode(4, network.PCIe)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Injections != b.Injections {
+		t.Fatal("TP runs not deterministic")
+	}
+}
+
+func TestTensorSingleGPU(t *testing.T) {
+	items := workload.Uniform(3, 128, 16, time.Second)
+	res, err := RunTensor(tpConfig(network.IntraNode(1, network.PCIe)), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Requests != 3 {
+		t.Fatalf("requests = %d", res.Report.Requests)
+	}
+}
+
+func TestTensorModelTooBig(t *testing.T) {
+	cfg := tpConfig(network.IntraNode(1, network.PCIe))
+	cfg.Model = model.Llama31_100B
+	if _, err := RunTensor(cfg, workload.Uniform(1, 10, 2, 0)); err == nil {
+		t.Fatal("100B on a single L20 accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gllm/internal/model"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+// Fig1Series is one system's per-iteration scheduled token counts plus
+// volatility statistics (Figure 1 compares Sarathi-Serve against a balanced
+// schedule with token budget 2048).
+type Fig1Series struct {
+	System  string
+	Prefill []float64
+	Decode  []float64
+	Total   []float64
+	// Volatility metrics over the total batched token counts.
+	Mean float64
+	Std  float64
+	CV   float64
+}
+
+// Fig1Result holds both systems' series.
+type Fig1Result struct {
+	Sarathi Fig1Series
+	GLLM    Fig1Series
+}
+
+// Fig1TokenVolatility reproduces Figure 1: the same ShareGPT workload is
+// served by the Sarathi baseline and by gLLM on the 32B intra-node testbed,
+// and the per-iteration batched token counts are compared. The expected
+// shape: Sarathi's counts swing between budget-filling prefill spikes and
+// thin decode-only batches, while gLLM holds a near-constant level.
+func Fig1TokenVolatility(sc Scale, rate float64) (*Fig1Result, error) {
+	cluster := IntraNodeL20(model.Qwen25_32B)
+	items := sc.trace(workload.ShareGPT, rate)
+
+	mk := func(sys System) (Fig1Series, error) {
+		res, err := sys.Run(cluster, items)
+		if err != nil {
+			return Fig1Series{}, err
+		}
+		total := res.TokensPerIteration()
+		sum := stats.Summarize(total)
+		return Fig1Series{
+			System:  sys.Name,
+			Prefill: res.PrefillPerIteration(),
+			Decode:  res.DecodePerIteration(),
+			Total:   total,
+			Mean:    sum.Mean,
+			Std:     sum.Std,
+			CV:      sum.CV(),
+		}, nil
+	}
+
+	sar, err := mk(SysVLLM)
+	if err != nil {
+		return nil, fmt.Errorf("experiments fig1: sarathi: %w", err)
+	}
+	gl, err := mk(SysGLLM)
+	if err != nil {
+		return nil, fmt.Errorf("experiments fig1: gllm: %w", err)
+	}
+	return &Fig1Result{Sarathi: sar, GLLM: gl}, nil
+}
+
+// String renders the volatility comparison.
+func (r *Fig1Result) String() string {
+	return fmt.Sprintf(
+		"Figure 1 — scheduled token volatility (budget 2048)\n"+
+			"  %-10s iters=%5d mean=%7.1f std=%7.1f cv=%.3f\n"+
+			"  %-10s iters=%5d mean=%7.1f std=%7.1f cv=%.3f\n"+
+			"  volatility ratio (sarathi/gllm std): %.2fx\n",
+		r.Sarathi.System, len(r.Sarathi.Total), r.Sarathi.Mean, r.Sarathi.Std, r.Sarathi.CV,
+		r.GLLM.System, len(r.GLLM.Total), r.GLLM.Mean, r.GLLM.Std, r.GLLM.CV,
+		r.VolatilityRatio())
+}
+
+// VolatilityRatio returns Sarathi's token-count standard deviation over
+// gLLM's (>1 means gLLM is smoother).
+func (r *Fig1Result) VolatilityRatio() float64 {
+	if r.GLLM.Std == 0 {
+		return 0
+	}
+	return r.Sarathi.Std / r.GLLM.Std
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+// Fig11Dataset summarizes one corpus's sampled length distributions.
+type Fig11Dataset struct {
+	Name       string
+	Input      stats.Summary
+	Output     stats.Summary
+	InputHist  *stats.Histogram
+	OutputHist *stats.Histogram
+}
+
+// Fig11Result reproduces Figure 11: input/output length distributions of
+// the sampled ShareGPT and Azure datasets, with the headline ratios the
+// paper reports (Azure input 5.21x, output 1.66x ShareGPT's mean).
+type Fig11Result struct {
+	ShareGPT    Fig11Dataset
+	Azure       Fig11Dataset
+	InputRatio  float64
+	OutputRatio float64
+}
+
+// Fig11Distributions samples both corpora.
+func Fig11Distributions(seed uint64, n int) (*Fig11Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments fig11: sample size %d", n)
+	}
+	mk := func(ds workload.Dataset) Fig11Dataset {
+		r := stats.NewRNG(seed)
+		ins := make([]float64, n)
+		outs := make([]float64, n)
+		inHist := stats.NewHistogram(0, float64(ds.InMax), 32)
+		outHist := stats.NewHistogram(0, float64(ds.OutMax), 32)
+		for i := 0; i < n; i++ {
+			in, out := ds.Sample(r)
+			ins[i] = float64(in)
+			outs[i] = float64(out)
+			inHist.Add(float64(in))
+			outHist.Add(float64(out))
+		}
+		return Fig11Dataset{
+			Name:       ds.Name,
+			Input:      stats.Summarize(ins),
+			Output:     stats.Summarize(outs),
+			InputHist:  inHist,
+			OutputHist: outHist,
+		}
+	}
+	sg := mk(workload.ShareGPT)
+	az := mk(workload.Azure)
+	return &Fig11Result{
+		ShareGPT:    sg,
+		Azure:       az,
+		InputRatio:  az.Input.Mean / sg.Input.Mean,
+		OutputRatio: az.Output.Mean / sg.Output.Mean,
+	}, nil
+}
+
+// String renders the distribution table.
+func (r *Fig11Result) String() string {
+	row := func(d Fig11Dataset) string {
+		return fmt.Sprintf("  %-9s input mean=%7.1f p50=%7.1f p99=%7.1f | output mean=%6.1f p50=%6.1f p99=%7.1f\n",
+			d.Name, d.Input.Mean, d.Input.P50, d.Input.P99,
+			d.Output.Mean, d.Output.P50, d.Output.P99)
+	}
+	return "Figure 11 — sampled dataset length distributions\n" +
+		row(r.ShareGPT) + row(r.Azure) +
+		fmt.Sprintf("  azure/sharegpt mean ratios: input %.2fx (paper 5.21x), output %.2fx (paper 1.66x)\n",
+			r.InputRatio, r.OutputRatio)
+}

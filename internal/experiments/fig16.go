@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gllm/internal/core"
+	"gllm/internal/engine"
+	"gllm/internal/model"
+	"gllm/internal/sched"
+	"gllm/internal/workload"
+)
+
+// Fig16Point is one hyperparameter setting's metrics, normalized to the
+// default configuration of its sweep.
+type Fig16Point struct {
+	Value          float64
+	TTFT           float64
+	TPOT           float64
+	E2E            float64
+	Throughput     float64
+	NormTTFT       float64
+	NormTPOT       float64
+	NormE2E        float64
+	NormThroughput float64
+	Preemptions    int
+}
+
+// Fig16Sweep is one hyperparameter's sweep.
+type Fig16Sweep struct {
+	Param  string
+	Points []Fig16Point
+}
+
+// Fig16Result reproduces Figure 16's sensitivity study over #T, #MaxP,
+// #MinP and KV_thresh.
+type Fig16Result struct {
+	Sweeps []Fig16Sweep
+}
+
+// Default sweep grids (paper x-axes).
+var (
+	Fig16IterT    = []float64{1, 2, 4, 8, 16}
+	Fig16MaxP     = []float64{512, 1024, 2048, 4096}
+	Fig16MinP     = []float64{8, 32, 128, 512}
+	Fig16KVThresh = []float64{0, 0.05, 0.1, 0.2}
+)
+
+// Fig16Sensitivity sweeps each hyperparameter independently around the
+// paper defaults on the 32B intra-node testbed. Each knob is swept in the
+// regime where it is load-bearing, mirroring the mechanisms §4.6 describes:
+// #T and #MinP under bursty chat traffic (micro-batch smoothing), #MaxP
+// under the long-prompt Azure workload (prefill-rate ceiling), and
+// KV_thresh under derated memory (preemption protection — see
+// Fig15Ablation's rationale for the derating).
+func Fig16Sensitivity(sc Scale, rate float64, ds workload.Dataset) (*Fig16Result, error) {
+	standard := IntraNodeL20(model.Qwen25_32B)
+	derated := standard
+	derated.MemUtil = 0.35
+
+	azureRate := rate / 2
+	if azureRate <= 0 {
+		azureRate = rate
+	}
+	var out Fig16Result
+	for _, part := range []struct {
+		cluster Cluster
+		ds      workload.Dataset
+		rate    float64
+		params  []string
+	}{
+		{standard, ds, rate, []string{"#T", "#MinP"}},
+		{standard, workload.Azure, azureRate, []string{"#MaxP"}},
+		{derated, ds, rate, []string{"KVthresh"}},
+	} {
+		res, err := Fig16SensitivityOn(part.cluster, sc, part.rate, part.ds, part.params...)
+		if err != nil {
+			return nil, err
+		}
+		out.Sweeps = append(out.Sweeps, res.Sweeps...)
+	}
+	return &out, nil
+}
+
+// Fig16SensitivityOn runs the named sweeps (all four when none are named)
+// on an explicit cluster and dataset.
+func Fig16SensitivityOn(cluster Cluster, sc Scale, rate float64, ds workload.Dataset, only ...string) (*Fig16Result, error) {
+	wanted := func(name string) bool {
+		if len(only) == 0 {
+			return true
+		}
+		for _, o := range only {
+			if o == name {
+				return true
+			}
+		}
+		return false
+	}
+	items := sc.trace(ds, rate)
+
+	runWith := func(params core.Params) (Fig16Point, error) {
+		cfg := engine.Config{
+			Model:     cluster.Model,
+			GPU:       cluster.GPU,
+			Topo:      cluster.Topo,
+			MemUtil:   cluster.MemUtil,
+			Scheduler: sched.NewThrottle(params, core.VariantFull),
+			Runtime:   engine.GLLMRuntime,
+		}
+		res, err := engine.RunPipeline(cfg, items)
+		if err != nil {
+			return Fig16Point{}, err
+		}
+		return Fig16Point{
+			TTFT:        res.Report.TTFT.Mean,
+			TPOT:        res.Report.TPOT.Mean,
+			E2E:         res.Report.E2E.Mean,
+			Throughput:  res.Report.TokenThroughput,
+			Preemptions: res.Preemptions,
+		}, nil
+	}
+
+	sweep := func(name string, grid []float64, apply func(core.Params, float64) core.Params, defVal float64) (Fig16Sweep, error) {
+		sw := Fig16Sweep{Param: name}
+		var def Fig16Point
+		for _, v := range grid {
+			p, err := runWith(apply(core.DefaultParams(), v))
+			if err != nil {
+				return sw, fmt.Errorf("%s=%g: %w", name, v, err)
+			}
+			p.Value = v
+			if v == defVal {
+				def = p
+			}
+			sw.Points = append(sw.Points, p)
+		}
+		for i := range sw.Points {
+			p := &sw.Points[i]
+			if def.TTFT > 0 {
+				p.NormTTFT = p.TTFT / def.TTFT
+			}
+			if def.TPOT > 0 {
+				p.NormTPOT = p.TPOT / def.TPOT
+			}
+			if def.E2E > 0 {
+				p.NormE2E = p.E2E / def.E2E
+			}
+			if def.Throughput > 0 {
+				p.NormThroughput = p.Throughput / def.Throughput
+			}
+		}
+		return sw, nil
+	}
+
+	var out Fig16Result
+	sweeps := []struct {
+		name   string
+		grid   []float64
+		apply  func(core.Params, float64) core.Params
+		defVal float64
+	}{
+		{"#T", Fig16IterT, func(p core.Params, v float64) core.Params { p.IterT = int(v); return p }, 8},
+		{"#MaxP", Fig16MaxP, func(p core.Params, v float64) core.Params { p.MaxP = int(v); return p }, 2048},
+		{"#MinP", Fig16MinP, func(p core.Params, v float64) core.Params { p.MinP = int(v); return p }, 32},
+		{"KVthresh", Fig16KVThresh, func(p core.Params, v float64) core.Params { p.KVThresh = v; return p }, 0.05},
+	}
+	for _, s := range sweeps {
+		if !wanted(s.name) {
+			continue
+		}
+		sw, err := sweep(s.name, s.grid, s.apply, s.defVal)
+		if err != nil {
+			return nil, fmt.Errorf("experiments fig16: %w", err)
+		}
+		out.Sweeps = append(out.Sweeps, sw)
+	}
+	return &out, nil
+}
+
+// Sweep returns the named parameter's sweep.
+func (r *Fig16Result) Sweep(param string) (Fig16Sweep, bool) {
+	for _, s := range r.Sweeps {
+		if s.Param == param {
+			return s, true
+		}
+	}
+	return Fig16Sweep{}, false
+}
+
+// String renders all sweeps (normalized to the paper default of each knob).
+func (r *Fig16Result) String() string {
+	out := "Figure 16 — hyperparameter sensitivity (normalized to defaults)\n"
+	for _, s := range r.Sweeps {
+		out += fmt.Sprintf("  %s:\n", s.Param)
+		for _, p := range s.Points {
+			out += fmt.Sprintf("    %8g  TTFT %5.2f  TPOT %5.2f  E2EL %5.2f  tput %5.2f  preempt %d\n",
+				p.Value, p.NormTTFT, p.NormTPOT, p.NormE2E, p.NormThroughput, p.Preemptions)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gllm/internal/workload"
+)
+
+// SLO is a goodput constraint (Figure 14's "ttft:X tpot:Y").
+type SLO struct {
+	TTFT time.Duration
+	TPOT time.Duration
+}
+
+// Paper SLOs (Figure 14 captions).
+var (
+	SLOShareGPT = SLO{TTFT: 2 * time.Second, TPOT: 100 * time.Millisecond}
+	SLOAzure    = SLO{TTFT: 4 * time.Second, TPOT: 200 * time.Millisecond}
+
+	// SLOShareGPTAdjusted relaxes the TPOT bound to sit above the simulated
+	// deployment's physical decode floor: Llama3.1-100B over 4 pipeline
+	// stages streams ~50 GB of weights per stage per iteration, giving a
+	// ~118 ms round-trip TPOT at 85% of A800 bandwidth — already above the
+	// paper's 100 ms bound, which their testbed only just undercuts. The
+	// adjusted bound preserves the figure's comparative shape.
+	SLOShareGPTAdjusted = SLO{TTFT: 2 * time.Second, TPOT: 150 * time.Millisecond}
+)
+
+// LatencyThroughput runs the Figure 10/12 experiment: every system over a
+// grid of request rates on one cluster and dataset, reporting mean TTFT,
+// TPOT, E2EL and token throughput per point (and SLO attainment when slo is
+// non-zero).
+func LatencyThroughput(c Cluster, ds workload.Dataset, systems []System, rates []float64, sc Scale, slo SLO) ([]Sweep, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("experiments: empty rate grid")
+	}
+	sweeps := make([]Sweep, 0, len(systems))
+	for _, sys := range systems {
+		sw := Sweep{System: sys.Name}
+		for _, rate := range rates {
+			items := sc.trace(ds, rate)
+			if len(items) == 0 {
+				return nil, fmt.Errorf("experiments: rate %g over %v produced no requests", rate, sc.Window)
+			}
+			res, err := sys.Run(c, items)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at rate %g: %w", sys.Name, rate, err)
+			}
+			p := RatePoint{
+				Rate:        rate,
+				TTFT:        res.Report.TTFT.Mean,
+				TPOT:        res.Report.TPOT.Mean,
+				E2E:         res.Report.E2E.Mean,
+				Throughput:  res.Report.TokenThroughput,
+				Preemptions: res.Preemptions,
+			}
+			if slo.TTFT > 0 {
+				p.SLO = res.Collector.SLOAttainment(slo.TTFT, slo.TPOT)
+			}
+			sw.Points = append(sw.Points, p)
+		}
+		sweeps = append(sweeps, sw)
+	}
+	return sweeps, nil
+}
+
+// MaxThroughput escalates the request rate geometrically until token
+// throughput stops improving by more than 5% (the paper's Figure 13
+// procedure: "incrementally increasing request rates until system
+// throughput stabilizes") and returns the plateau throughput.
+func MaxThroughput(c Cluster, ds workload.Dataset, sys System, sc Scale) (float64, error) {
+	best := 0.0
+	rate := 0.5
+	for step := 0; step < 12; step++ {
+		items := sc.trace(ds, rate)
+		if len(items) == 0 {
+			rate *= 2
+			continue
+		}
+		res, err := sys.Run(c, items)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: %s max-throughput at rate %g: %w", sys.Name, rate, err)
+		}
+		tput := res.Report.TokenThroughput
+		if tput <= best*1.05 && best > 0 {
+			return best, nil
+		}
+		if tput > best {
+			best = tput
+		}
+		rate *= 2
+	}
+	return best, nil
+}
+
+// ScalabilityPoint is one bar of Figure 13.
+type ScalabilityPoint struct {
+	System string
+	GPUs   int
+	Tput   float64
+	// SpeedupVsBase is Tput over the smallest configuration's Tput for the
+	// same system (the paper's "(x)" bar annotations).
+	SpeedupVsBase float64
+}
+
+// Scalability measures max throughput across a list of cluster sizes
+// (Figure 13): clusters must be ordered smallest first.
+func Scalability(clusters []Cluster, ds workload.Dataset, systems []System, sc Scale) ([]ScalabilityPoint, error) {
+	var out []ScalabilityPoint
+	for _, sys := range systems {
+		base := 0.0
+		for _, c := range clusters {
+			tput, err := MaxThroughput(c, ds, sys, sc)
+			if err != nil {
+				// Configurations where the model does not fit are reported
+				// as zero-throughput bars (the paper simply omits them).
+				out = append(out, ScalabilityPoint{System: sys.Name, GPUs: c.Topo.GPUs()})
+				continue
+			}
+			if base == 0 {
+				base = tput
+			}
+			sp := ScalabilityPoint{System: sys.Name, GPUs: c.Topo.GPUs(), Tput: tput}
+			if base > 0 {
+				sp.SpeedupVsBase = tput / base
+			}
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gllm/internal/model"
+)
+
+// BatchShape aggregates everything the cost model needs to know about one
+// micro-batch. Context sums are aggregated over tokens so the model can
+// price attention score computation and KV-cache reads:
+//
+//   - For a prefill chunk of c tokens starting at context offset s,
+//     the per-token context is s, s+1, ..., s+c-1, so the chunk contributes
+//     c*s + c*(c-1)/2 to PrefillCtxSum.
+//   - For a decode token over a sequence of current length L, the token
+//     contributes L to DecodeCtxSum.
+type BatchShape struct {
+	PrefillTokens int     // new prompt tokens in this micro-batch
+	PrefillCtxSum float64 // sum of attention context over prefill tokens
+	DecodeTokens  int     // decode tokens (== sequences decoding)
+	DecodeCtxSum  float64 // sum of attention context over decode tokens
+}
+
+// Tokens returns the total batched token count.
+func (b BatchShape) Tokens() int { return b.PrefillTokens + b.DecodeTokens }
+
+// Empty reports whether the batch contains no tokens.
+func (b BatchShape) Empty() bool { return b.Tokens() == 0 }
+
+// Add merges another shape into b.
+func (b BatchShape) Add(o BatchShape) BatchShape {
+	return BatchShape{
+		PrefillTokens: b.PrefillTokens + o.PrefillTokens,
+		PrefillCtxSum: b.PrefillCtxSum + o.PrefillCtxSum,
+		DecodeTokens:  b.DecodeTokens + o.DecodeTokens,
+		DecodeCtxSum:  b.DecodeCtxSum + o.DecodeCtxSum,
+	}
+}
+
+// PrefillChunkCtxSum computes the context sum contributed by a prefill
+// chunk of chunkLen tokens whose first token attends over ctxStart earlier
+// tokens.
+func PrefillChunkCtxSum(ctxStart, chunkLen int) float64 {
+	c := float64(chunkLen)
+	return c*float64(ctxStart) + c*(c-1)/2
+}
+
+// CostModel prices forward passes of one model on one GPU type.
+// The zero value is invalid; use NewCostModel.
+type CostModel struct {
+	Model model.Config
+	GPU   Spec
+
+	// MFUMax is the achievable model FLOP utilization (dense GEMM
+	// efficiency). Small-batch slowness is captured by the roofline's
+	// memory term (weight streaming dominates), not by degrading MFU,
+	// which keeps decode batches correctly memory-bound.
+	MFUMax float64
+	// BandwidthEff is the fraction of peak HBM bandwidth achieved.
+	BandwidthEff float64
+	// ActivationRWFactor approximates intermediate activation traffic as a
+	// multiple of the token hidden-state size per layer.
+	ActivationRWFactor float64
+}
+
+// NewCostModel builds a cost model with calibrated default efficiency
+// constants. It panics on an invalid model or GPU spec — those are
+// programming errors, not runtime conditions.
+func NewCostModel(m model.Config, g Spec) CostModel {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return CostModel{
+		Model:              m,
+		GPU:                g,
+		MFUMax:             0.55,
+		BandwidthEff:       0.85,
+		ActivationRWFactor: 8,
+	}
+}
+
+// LayerFLOPs returns the forward FLOPs of one decoder layer for the batch.
+func (cm CostModel) LayerFLOPs(b BatchShape) float64 {
+	lin := cm.Model.LinearFLOPsPerTokenPerLayer() * float64(b.Tokens())
+	attn := 4 * float64(cm.Model.NumHeads) * float64(cm.Model.HeadDim) * (b.PrefillCtxSum + b.DecodeCtxSum)
+	return lin + attn
+}
+
+// ActivatedExperts returns the expected number of distinct experts a batch
+// of the given token count activates in one MoE layer under uniform top-k
+// routing: E·(1−(1−k/E)^tokens). Dense models activate none (their single
+// FFN is accounted as ordinary layer weights).
+func (cm CostModel) ActivatedExperts(tokens int) float64 {
+	m := cm.Model
+	if !m.IsMoE() || tokens <= 0 {
+		return 0
+	}
+	e := float64(m.NumExperts)
+	p := float64(m.TopK) / e
+	return e * (1 - math.Pow(1-p, float64(tokens)))
+}
+
+// streamedWeightBytes returns the layer weights a batch actually reads:
+// everything for dense layers; attention + router + only the activated
+// experts for MoE layers. This is why MoE decode batches are
+// disproportionally memory-bound — a handful of tokens can still touch
+// most experts (the paper's §6 future-work observation).
+func (cm CostModel) streamedWeightBytes(tokens int) float64 {
+	m := cm.Model
+	if !m.IsMoE() {
+		return float64(m.WeightBytesPerLayer())
+	}
+	fixed := float64((m.AttnParamsPerLayer() + m.RouterParams()) * int64(m.DTypeBytes))
+	experts := cm.ActivatedExperts(tokens) * float64(m.ExpertParams()*int64(m.DTypeBytes))
+	return fixed + experts
+}
+
+// LayerBytes returns the HBM traffic of one decoder layer for the batch:
+// weight streaming, KV-cache reads over attended context, KV writes for new
+// tokens, and intermediate activation traffic.
+func (cm CostModel) LayerBytes(b BatchShape) float64 {
+	weights := cm.streamedWeightBytes(b.Tokens())
+	kvPerTok := float64(cm.Model.KVBytesPerTokenPerLayer())
+	kvRead := kvPerTok * (b.PrefillCtxSum + b.DecodeCtxSum)
+	kvWrite := kvPerTok * float64(b.Tokens())
+	act := cm.ActivationRWFactor * float64(cm.Model.ActivationBytesPerToken()) * float64(b.Tokens())
+	return weights + kvRead + kvWrite + act
+}
+
+// LayerTime returns the roofline execution time of one decoder layer.
+// An empty batch costs zero.
+func (cm CostModel) LayerTime(b BatchShape) time.Duration {
+	if b.Empty() {
+		return 0
+	}
+	compute := cm.LayerFLOPs(b) / (cm.GPU.PeakFLOPS * cm.MFUMax)
+	mem := cm.LayerBytes(b) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return time.Duration(t*float64(time.Second)) + cm.GPU.KernelOverhead
+}
+
+// StageTime returns the execution time of `layers` consecutive decoder
+// layers on one GPU (one pipeline stage).
+func (cm CostModel) StageTime(b BatchShape, layers int) time.Duration {
+	if layers < 0 {
+		panic(fmt.Sprintf("gpu: negative layer count %d", layers))
+	}
+	if b.Empty() || layers == 0 {
+		return 0
+	}
+	return time.Duration(layers) * cm.LayerTime(b)
+}
+
+// ComputeBound reports whether the batch is compute-limited (rather than
+// bandwidth-limited) on this model/GPU pair.
+func (cm CostModel) ComputeBound(b BatchShape) bool {
+	if b.Empty() {
+		return false
+	}
+	compute := cm.LayerFLOPs(b) / (cm.GPU.PeakFLOPS * cm.MFUMax)
+	mem := cm.LayerBytes(b) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+	return compute >= mem
+}
+
+// TensorParallelLayerTime returns the per-layer compute time when the layer
+// is split across tpDegree GPUs (communication is priced separately by the
+// network model). FLOPs and bytes split evenly; the per-GPU weight slice is
+// 1/tpDegree of the layer.
+func (cm CostModel) TensorParallelLayerTime(b BatchShape, tpDegree int) time.Duration {
+	if tpDegree < 1 {
+		panic(fmt.Sprintf("gpu: invalid TP degree %d", tpDegree))
+	}
+	if b.Empty() {
+		return 0
+	}
+	compute := cm.LayerFLOPs(b) / float64(tpDegree) / (cm.GPU.PeakFLOPS * cm.MFUMax)
+	mem := cm.LayerBytes(b) / float64(tpDegree) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return time.Duration(t*float64(time.Second)) + cm.GPU.KernelOverhead
+}
+
+// KVCapacityTokensPP returns how many tokens of KV cache the cluster can
+// hold under pipeline parallelism with the given per-stage layer split and
+// memory utilization fraction (GPU memory reserved for weights first; the
+// paper's --gpu-memory-util knob). The cluster capacity is the minimum
+// across stages because page tables are shared (every sequence occupies
+// the same token slots on every stage).
+func (cm CostModel) KVCapacityTokensPP(stageLayers []int, memUtil float64) int64 {
+	if memUtil <= 0 || memUtil > 1 {
+		panic(fmt.Sprintf("gpu: memUtil %g out of (0,1]", memUtil))
+	}
+	minTokens := int64(-1)
+	for _, layers := range stageLayers {
+		weights := int64(layers) * cm.Model.WeightBytesPerLayer()
+		avail := int64(float64(cm.GPU.MemoryBytes)*memUtil) - weights
+		if avail < 0 {
+			avail = 0
+		}
+		perTok := int64(layers) * cm.Model.KVBytesPerTokenPerLayer()
+		if perTok == 0 {
+			continue
+		}
+		tokens := avail / perTok
+		if minTokens < 0 || tokens < minTokens {
+			minTokens = tokens
+		}
+	}
+	if minTokens < 0 {
+		return 0
+	}
+	return minTokens
+}
+
+// KVCapacityTokensTP returns the KV capacity under tensor parallelism of
+// the given degree: weights and KV heads are both sharded tpDegree ways.
+func (cm CostModel) KVCapacityTokensTP(tpDegree int, memUtil float64) int64 {
+	if tpDegree < 1 {
+		panic(fmt.Sprintf("gpu: invalid TP degree %d", tpDegree))
+	}
+	if memUtil <= 0 || memUtil > 1 {
+		panic(fmt.Sprintf("gpu: memUtil %g out of (0,1]", memUtil))
+	}
+	weights := (int64(cm.Model.NumLayers)*cm.Model.WeightBytesPerLayer() +
+		cm.Model.EmbeddingParams()*int64(cm.Model.DTypeBytes)) / int64(tpDegree)
+	avail := int64(float64(cm.GPU.MemoryBytes)*memUtil) - weights
+	if avail < 0 {
+		return 0
+	}
+	perTok := cm.Model.KVBytesPerToken() / int64(tpDegree)
+	if perTok == 0 {
+		return 0
+	}
+	return avail / perTok
+}

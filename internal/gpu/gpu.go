@@ -1,0 +1,83 @@
+// Package gpu models GPU devices and the latency of transformer forward
+// passes on them. The model is a roofline: every layer pays the maximum of
+// its compute time (FLOPs over achievable FLOP/s) and its memory time
+// (bytes moved over achievable bandwidth), plus a fixed per-layer kernel
+// overhead. Achievable FLOP/s scales with batch size through a saturating
+// MFU curve, which reproduces the prefill-compute-bound /
+// decode-memory-bound asymmetry the gLLM paper builds on.
+package gpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spec describes one GPU device type.
+type Spec struct {
+	Name string
+	// PeakFLOPS is dense bf16 peak, FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is HBM bandwidth, bytes/s.
+	MemBandwidth float64
+	// MemoryBytes is total device memory.
+	MemoryBytes int64
+	// KernelOverhead is fixed per-layer launch/dispatch overhead.
+	KernelOverhead time.Duration
+}
+
+// Validate reports a descriptive error for non-physical specs.
+func (s Spec) Validate() error {
+	switch {
+	case s.PeakFLOPS <= 0:
+		return fmt.Errorf("gpu %s: PeakFLOPS = %g", s.Name, s.PeakFLOPS)
+	case s.MemBandwidth <= 0:
+		return fmt.Errorf("gpu %s: MemBandwidth = %g", s.Name, s.MemBandwidth)
+	case s.MemoryBytes <= 0:
+		return fmt.Errorf("gpu %s: MemoryBytes = %d", s.Name, s.MemoryBytes)
+	case s.KernelOverhead < 0:
+		return fmt.Errorf("gpu %s: KernelOverhead = %v", s.Name, s.KernelOverhead)
+	}
+	return nil
+}
+
+// Catalog entries for the three node types in the paper's evaluation.
+// Figures are public data-sheet values (dense bf16).
+var (
+	// L20 is NVIDIA L20-48GB (intra-node testbed).
+	L20 = Spec{
+		Name:           "L20-48GB",
+		PeakFLOPS:      119.5e12,
+		MemBandwidth:   864e9,
+		MemoryBytes:    48 << 30,
+		KernelOverhead: 25 * time.Microsecond,
+	}
+	// A100_40G is NVIDIA A100-40GB (cross-node testbed).
+	A100_40G = Spec{
+		Name:           "A100-40GB",
+		PeakFLOPS:      312e12,
+		MemBandwidth:   1555e9,
+		MemoryBytes:    40 << 30,
+		KernelOverhead: 25 * time.Microsecond,
+	}
+	// A800_80G is NVIDIA A800-80GB (cross-node testbed for the 100B model).
+	A800_80G = Spec{
+		Name:           "A800-80GB",
+		PeakFLOPS:      312e12,
+		MemBandwidth:   2039e9,
+		MemoryBytes:    80 << 30,
+		KernelOverhead: 25 * time.Microsecond,
+	}
+)
+
+// Catalog lists every built-in GPU spec.
+func Catalog() []Spec { return []Spec{L20, A100_40G, A800_80G} }
+
+// ByName looks a spec up by its exact catalog name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gpu: unknown GPU %q", name)
+}

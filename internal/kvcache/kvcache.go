@@ -1,0 +1,271 @@
+// Package kvcache implements a vLLM-style paged KV cache manager: device
+// memory is carved into fixed-size blocks of token slots, sequences own
+// ordered block lists (page tables), and the scheduler consults the free
+// rate (KV_free in the gLLM paper) to throttle prefill admission. Page
+// tables are shared across pipeline stages, so a single manager accounts
+// for the whole replica, exactly as the paper's driver worker does.
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SeqID identifies a sequence in the cache.
+type SeqID int64
+
+// Manager allocates KV-cache blocks to sequences. It is not safe for
+// concurrent use; in the simulated engines it lives on the driver and in
+// the concurrent runtime it is owned by the driver goroutine.
+type Manager struct {
+	blockSize   int
+	totalBlocks int
+	freeList    []int           // LIFO free block IDs
+	tables      map[SeqID][]int // seq -> ordered block IDs
+	tokens      map[SeqID]int   // seq -> token count
+
+	allocs   int // completed Allocate calls
+	frees    int // completed Free calls
+	peakUsed int
+
+	// Prefix-cache state (lazily initialized; see prefix.go).
+	refs      []int             // per-block reference count (0 = free)
+	cache     map[prefixKey]int // (group, idx) -> cached block
+	cachedKey map[int]prefixKey // reverse index
+	cacheOnly int               // cached blocks with no sequence reference (evictable)
+	hits      int
+	hitTokens int64
+	evictions int
+}
+
+// New builds a manager holding capacityTokens token slots grouped into
+// blocks of blockSize tokens. Partial trailing capacity is discarded
+// (block-granular, like vLLM). It panics when blockSize <= 0 or the
+// capacity holds no complete block.
+func New(capacityTokens int64, blockSize int) *Manager {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("kvcache: blockSize = %d", blockSize))
+	}
+	nblocks := int(capacityTokens / int64(blockSize))
+	if nblocks <= 0 {
+		panic(fmt.Sprintf("kvcache: capacity %d tokens holds no block of %d", capacityTokens, blockSize))
+	}
+	m := &Manager{
+		blockSize:   blockSize,
+		totalBlocks: nblocks,
+		freeList:    make([]int, nblocks),
+		tables:      make(map[SeqID][]int),
+		tokens:      make(map[SeqID]int),
+	}
+	// Hand out low block IDs first for deterministic page tables.
+	for i := range m.freeList {
+		m.freeList[i] = nblocks - 1 - i
+	}
+	return m
+}
+
+// BlockSize returns tokens per block.
+func (m *Manager) BlockSize() int { return m.blockSize }
+
+// TotalBlocks returns the total block count.
+func (m *Manager) TotalBlocks() int { return m.totalBlocks }
+
+// FreeBlocks returns the allocatable block count: free-list blocks plus
+// cached blocks no sequence references (those are evicted on demand, so
+// prefix-cache residency never shrinks the capacity schedulers see).
+func (m *Manager) FreeBlocks() int { return len(m.freeList) + m.cacheOnly }
+
+// UsedBlocks returns totalBlocks - FreeBlocks().
+func (m *Manager) UsedBlocks() int { return m.totalBlocks - m.FreeBlocks() }
+
+// PeakUsedBlocks returns the high-water mark of used blocks.
+func (m *Manager) PeakUsedBlocks() int { return m.peakUsed }
+
+// Allocs returns the number of successful Allocate calls.
+func (m *Manager) Allocs() int { return m.allocs }
+
+// Frees returns the number of Free calls that released a sequence.
+func (m *Manager) Frees() int { return m.frees }
+
+// CapacityTokens returns the total token slots managed.
+func (m *Manager) CapacityTokens() int64 {
+	return int64(m.totalBlocks) * int64(m.blockSize)
+}
+
+// FreeRate returns the fraction of blocks currently free: the paper's
+// KV_free ∈ [0,1].
+func (m *Manager) FreeRate() float64 {
+	return float64(len(m.freeList)) / float64(m.totalBlocks)
+}
+
+// UsedRate returns 1 - FreeRate.
+func (m *Manager) UsedRate() float64 { return 1 - m.FreeRate() }
+
+// Has reports whether the sequence owns cache blocks.
+func (m *Manager) Has(id SeqID) bool {
+	_, ok := m.tokens[id]
+	return ok
+}
+
+// TokensOf returns the number of cached tokens of a sequence (0 if absent).
+func (m *Manager) TokensOf(id SeqID) int { return m.tokens[id] }
+
+// Sequences returns the resident sequence IDs in ascending order.
+func (m *Manager) Sequences() []SeqID {
+	out := make([]SeqID, 0, len(m.tokens))
+	for id := range m.tokens {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// blocksFor returns the blocks needed to hold n tokens.
+func (m *Manager) blocksFor(n int) int {
+	return (n + m.blockSize - 1) / m.blockSize
+}
+
+// BlocksNeeded returns how many new blocks appending extra tokens to the
+// sequence would require (0 if the trailing block has room).
+func (m *Manager) BlocksNeeded(id SeqID, extra int) int {
+	if extra < 0 {
+		panic(fmt.Sprintf("kvcache: negative token count %d", extra))
+	}
+	cur := m.tokens[id]
+	return m.blocksFor(cur+extra) - m.blocksFor(cur)
+}
+
+// CanAllocate reports whether appending extra tokens to the sequence would
+// succeed right now (counting evictable cached blocks as free).
+func (m *Manager) CanAllocate(id SeqID, extra int) bool {
+	return m.BlocksNeeded(id, extra) <= m.FreeBlocks()
+}
+
+// Allocate appends extra token slots to the sequence, claiming blocks from
+// the free list. It fails atomically (no blocks claimed) when the cache
+// cannot hold them. Allocating zero tokens for an unknown sequence creates
+// an empty page table.
+func (m *Manager) Allocate(id SeqID, extra int) error {
+	need := m.BlocksNeeded(id, extra)
+	if free := m.FreeBlocks(); need > free {
+		return fmt.Errorf("kvcache: need %d blocks for seq %d, only %d free", need, id, free)
+	}
+	if _, ok := m.tokens[id]; !ok {
+		m.tokens[id] = 0
+		m.tables[id] = nil
+	}
+	for i := 0; i < need; i++ {
+		if len(m.freeList) == 0 && !m.evictOne() {
+			panic("kvcache: free accounting out of sync") // CanAllocate said yes
+		}
+		b := m.freeList[len(m.freeList)-1]
+		m.freeList = m.freeList[:len(m.freeList)-1]
+		if m.refs != nil {
+			m.refs[b] = 1
+		}
+		m.tables[id] = append(m.tables[id], b)
+	}
+	m.tokens[id] += extra
+	m.allocs++
+	if used := m.UsedBlocks(); used > m.peakUsed {
+		m.peakUsed = used
+	}
+	return nil
+}
+
+// Free releases every block of the sequence (request completion or
+// preemption-by-recompute). Shared (prefix-cached) blocks only return to
+// the free list once their last reference drops. Freeing an absent
+// sequence is a no-op.
+func (m *Manager) Free(id SeqID) {
+	blocks, ok := m.tables[id]
+	if !ok {
+		return
+	}
+	if m.refs == nil {
+		m.freeList = append(m.freeList, blocks...)
+	} else {
+		for _, b := range blocks {
+			m.refs[b]--
+			if m.refs[b] == 0 {
+				m.freeList = append(m.freeList, b)
+			} else if m.refs[b] == 1 {
+				if _, cached := m.cachedKey[b]; cached {
+					m.cacheOnly++ // only the cache references it now
+				}
+			}
+		}
+	}
+	delete(m.tables, id)
+	delete(m.tokens, id)
+	m.frees++
+}
+
+// PageTable returns a copy of the sequence's ordered block IDs.
+func (m *Manager) PageTable(id SeqID) []int {
+	return append([]int(nil), m.tables[id]...)
+}
+
+// checkInvariants returns an error when internal accounting is broken.
+// With prefix caching enabled, blocks may be shared: the expected reference
+// count of a block is the number of page tables containing it plus one if
+// the prefix cache registers it.
+func (m *Manager) checkInvariants() error {
+	expectedRefs := make([]int, m.totalBlocks)
+	for id, blocks := range m.tables {
+		if m.blocksFor(m.tokens[id]) != len(blocks) {
+			return fmt.Errorf("kvcache: seq %d has %d tokens but %d blocks", id, m.tokens[id], len(blocks))
+		}
+		seenInSeq := make(map[int]bool, len(blocks))
+		for _, b := range blocks {
+			if b < 0 || b >= m.totalBlocks {
+				return fmt.Errorf("kvcache: block %d out of range", b)
+			}
+			if seenInSeq[b] {
+				return fmt.Errorf("kvcache: block %d twice in seq %d", b, id)
+			}
+			seenInSeq[b] = true
+			expectedRefs[b]++
+		}
+	}
+	for key, b := range m.cache {
+		if got, ok := m.cachedKey[b]; !ok || got != key {
+			return fmt.Errorf("kvcache: cache index inconsistent for block %d", b)
+		}
+		expectedRefs[b]++
+	}
+	if len(m.cache) != len(m.cachedKey) {
+		return fmt.Errorf("kvcache: cache maps out of sync (%d vs %d)", len(m.cache), len(m.cachedKey))
+	}
+	inFree := make(map[int]bool, len(m.freeList))
+	for _, b := range m.freeList {
+		if inFree[b] {
+			return fmt.Errorf("kvcache: block %d twice in free list", b)
+		}
+		inFree[b] = true
+		if expectedRefs[b] != 0 {
+			return fmt.Errorf("kvcache: block %d free but referenced %d times", b, expectedRefs[b])
+		}
+	}
+	referenced := 0
+	for b, want := range expectedRefs {
+		if m.refs != nil && m.refs[b] != want {
+			return fmt.Errorf("kvcache: block %d refcount %d, want %d", b, m.refs[b], want)
+		}
+		if want > 0 {
+			referenced++
+		} else if !inFree[b] {
+			return fmt.Errorf("kvcache: block %d neither free nor referenced", b)
+		}
+	}
+	if referenced+len(m.freeList) != m.totalBlocks {
+		return fmt.Errorf("kvcache: %d referenced + %d free != %d total", referenced, len(m.freeList), m.totalBlocks)
+	}
+	if got := len(m.evictableBlocks()); got != m.cacheOnly {
+		return fmt.Errorf("kvcache: cacheOnly counter %d, actual evictable %d", m.cacheOnly, got)
+	}
+	return nil
+}
+
+// Verify returns an error if internal invariants are violated.
+func (m *Manager) Verify() error { return m.checkInvariants() }

@@ -1,0 +1,270 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gllm/internal/stats"
+)
+
+func TestNewBlockAccounting(t *testing.T) {
+	m := New(1000, 16)
+	if m.TotalBlocks() != 62 {
+		t.Fatalf("TotalBlocks = %d, want 62", m.TotalBlocks())
+	}
+	if m.FreeBlocks() != 62 || m.UsedBlocks() != 0 {
+		t.Fatalf("free/used = %d/%d", m.FreeBlocks(), m.UsedBlocks())
+	}
+	if m.CapacityTokens() != 992 {
+		t.Fatalf("capacity = %d", m.CapacityTokens())
+	}
+	if m.FreeRate() != 1 {
+		t.Fatalf("free rate = %v", m.FreeRate())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(100, 0) },
+		func() { New(100, -4) },
+		func() { New(7, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAllocateAndFree(t *testing.T) {
+	m := New(64*16, 16)
+	if err := m.Allocate(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.TokensOf(1) != 20 {
+		t.Fatalf("tokens = %d", m.TokensOf(1))
+	}
+	if m.UsedBlocks() != 2 {
+		t.Fatalf("used = %d, want 2 (20 tokens @16)", m.UsedBlocks())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	m.Free(1)
+	if m.Has(1) || m.UsedBlocks() != 0 {
+		t.Fatal("free did not release")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalAllocationUsesSlack(t *testing.T) {
+	m := New(64*16, 16)
+	if err := m.Allocate(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	// 6 slots left in the trailing block: no new block needed.
+	if got := m.BlocksNeeded(1, 6); got != 0 {
+		t.Fatalf("BlocksNeeded = %d", got)
+	}
+	if err := m.Allocate(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 1 {
+		t.Fatalf("used = %d", m.UsedBlocks())
+	}
+	// One more token spills into a second block.
+	if err := m.Allocate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 2 {
+		t.Fatalf("used = %d", m.UsedBlocks())
+	}
+}
+
+func TestAllocateFailsAtomically(t *testing.T) {
+	m := New(4*16, 16)
+	if err := m.Allocate(1, 3*16); err != nil {
+		t.Fatal(err)
+	}
+	before := m.FreeBlocks()
+	if err := m.Allocate(2, 2*16); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if m.FreeBlocks() != before {
+		t.Fatal("failed allocation leaked blocks")
+	}
+	if m.Has(2) {
+		t.Fatal("failed allocation created sequence")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanAllocate(t *testing.T) {
+	m := New(2*16, 16)
+	if !m.CanAllocate(1, 32) {
+		t.Fatal("should fit exactly")
+	}
+	if m.CanAllocate(1, 33) {
+		t.Fatal("should not fit")
+	}
+}
+
+func TestFreeRateMovesWithUsage(t *testing.T) {
+	m := New(10*16, 16)
+	if err := m.Allocate(1, 5*16); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FreeRate(); got != 0.5 {
+		t.Fatalf("free rate = %v", got)
+	}
+	if got := m.UsedRate(); got != 0.5 {
+		t.Fatalf("used rate = %v", got)
+	}
+}
+
+func TestFreeUnknownSeqNoop(t *testing.T) {
+	m := New(16, 16)
+	m.Free(99) // must not panic
+	if m.Frees() != 0 {
+		t.Fatal("noop free counted")
+	}
+}
+
+func TestPageTableDeterministicAndOwned(t *testing.T) {
+	m := New(8*16, 16)
+	if err := m.Allocate(1, 48); err != nil {
+		t.Fatal(err)
+	}
+	pt := m.PageTable(1)
+	if len(pt) != 3 {
+		t.Fatalf("page table = %v", pt)
+	}
+	// Low block IDs first, in order.
+	if pt[0] != 0 || pt[1] != 1 || pt[2] != 2 {
+		t.Fatalf("page table = %v", pt)
+	}
+	// Mutating the copy must not affect the manager.
+	pt[0] = 99
+	if m.PageTable(1)[0] != 0 {
+		t.Fatal("PageTable returned internal slice")
+	}
+}
+
+func TestBlockReuseAfterFree(t *testing.T) {
+	m := New(2*16, 16)
+	if err := m.Allocate(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	m.Free(1)
+	if err := m.Allocate(2, 32); err != nil {
+		t.Fatalf("blocks not reusable: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequencesSorted(t *testing.T) {
+	m := New(10*16, 16)
+	for _, id := range []SeqID{5, 1, 3} {
+		if err := m.Allocate(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Sequences()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Sequences = %v", got)
+	}
+}
+
+func TestPeakUsage(t *testing.T) {
+	m := New(10*16, 16)
+	if err := m.Allocate(1, 7*16); err != nil {
+		t.Fatal(err)
+	}
+	m.Free(1)
+	if err := m.Allocate(2, 2*16); err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakUsedBlocks() != 7 {
+		t.Fatalf("peak = %d", m.PeakUsedBlocks())
+	}
+	if m.Allocs() != 2 || m.Frees() != 1 {
+		t.Fatalf("allocs/frees = %d/%d", m.Allocs(), m.Frees())
+	}
+}
+
+func TestBlocksNeededNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(16, 16).BlocksNeeded(1, -1)
+}
+
+func TestZeroTokenAllocateCreatesEmptySeq(t *testing.T) {
+	m := New(16, 16)
+	if err := m.Allocate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(1) || m.TokensOf(1) != 0 || m.UsedBlocks() != 0 {
+		t.Fatal("zero allocation mishandled")
+	}
+}
+
+// TestQuickRandomWorkloadInvariants drives random allocate/free traffic and
+// checks the manager's invariants after every operation.
+func TestQuickRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := New(128*16, 16)
+		live := map[SeqID]bool{}
+		nextID := SeqID(1)
+		for op := 0; op < 300; op++ {
+			if rng.Float64() < 0.6 {
+				id := nextID
+				if rng.Float64() < 0.5 && len(live) > 0 {
+					// extend an existing sequence
+					for l := range live {
+						id = l
+						break
+					}
+				} else {
+					nextID++
+				}
+				extra := rng.IntRange(1, 100)
+				if m.CanAllocate(id, extra) {
+					if err := m.Allocate(id, extra); err != nil {
+						return false
+					}
+					live[id] = true
+				} else if err := m.Allocate(id, extra); err == nil {
+					return false // CanAllocate said no but Allocate succeeded
+				}
+			} else if len(live) > 0 {
+				for id := range live {
+					m.Free(id)
+					delete(live, id)
+					break
+				}
+			}
+			if err := m.Verify(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Prefix caching (the paper integrates vLLM-style prefix caching, §3.4):
+// full blocks of a shared prompt prefix are content-addressed by
+// (prefix group, block index) and reused across requests via reference
+// counting. A cached block that no sequence references stays out of the
+// free list but is evicted on demand, so cache residency never reduces the
+// allocatable capacity the scheduler sees.
+//
+// Content identity is (group, index) rather than a token hash because the
+// simulation carries token counts, not token values; a group models "these
+// requests share the same leading tokens" (e.g. turns of one conversation
+// or a common system prompt).
+
+// prefixKey addresses one cached block.
+type prefixKey struct {
+	group int64
+	idx   int
+}
+
+// initPrefix lazily initializes prefix state (keeps New unchanged).
+func (m *Manager) initPrefix() {
+	if m.refs != nil {
+		return
+	}
+	m.refs = make([]int, m.totalBlocks)
+	for id, blocks := range m.tables {
+		_ = id
+		for _, b := range blocks {
+			m.refs[b] = 1
+		}
+	}
+	m.cache = make(map[prefixKey]int)
+	m.cachedKey = make(map[int]prefixKey)
+}
+
+// MatchPrefix returns how many leading tokens of a prompt in the given
+// group are resident in the cache: the longest run of consecutive cached
+// blocks (group, 0..k-1), capped at maxTokens rounded down to whole blocks.
+func (m *Manager) MatchPrefix(group int64, maxTokens int) int {
+	if group == 0 || maxTokens <= 0 {
+		return 0
+	}
+	m.initPrefix()
+	matched := 0
+	for idx := 0; (idx+1)*m.blockSize <= maxTokens; idx++ {
+		if _, ok := m.cache[prefixKey{group, idx}]; !ok {
+			break
+		}
+		matched += m.blockSize
+	}
+	return matched
+}
+
+// AttachPrefix links a fresh sequence to the cached leading blocks of its
+// group, covering up to maxTokens tokens. It returns the number of tokens
+// attached (a multiple of the block size; 0 when nothing matches). The
+// sequence must not hold any blocks yet.
+func (m *Manager) AttachPrefix(id SeqID, group int64, maxTokens int) int {
+	if m.TokensOf(id) > 0 {
+		panic(fmt.Sprintf("kvcache: AttachPrefix to non-fresh seq %d", id))
+	}
+	matched := m.MatchPrefix(group, maxTokens)
+	if matched == 0 {
+		return 0
+	}
+	m.initPrefix()
+	if _, ok := m.tokens[id]; !ok {
+		m.tokens[id] = 0
+		m.tables[id] = nil
+	}
+	for idx := 0; idx < matched/m.blockSize; idx++ {
+		b := m.cache[prefixKey{group, idx}]
+		m.refs[b]++
+		if m.refs[b] == 2 {
+			m.cacheOnly-- // a sequence references it again
+		}
+		m.tables[id] = append(m.tables[id], b)
+	}
+	m.tokens[id] = matched
+	m.hits++
+	m.hitTokens += int64(matched)
+	return matched
+}
+
+// RegisterPrefix publishes the first upTo tokens' worth of full blocks of a
+// sequence into the group's cache (idempotent; already-cached indices are
+// skipped). Call it once the shared region's KV has been computed.
+func (m *Manager) RegisterPrefix(id SeqID, group int64, upTo int) {
+	if group == 0 || upTo <= 0 {
+		return
+	}
+	m.initPrefix()
+	blocks := m.tables[id]
+	n := upTo / m.blockSize // full blocks only
+	if n > len(blocks) {
+		n = len(blocks)
+	}
+	for idx := 0; idx < n; idx++ {
+		key := prefixKey{group, idx}
+		if _, ok := m.cache[key]; ok {
+			continue
+		}
+		b := blocks[idx]
+		if existing, ok := m.cachedKey[b]; ok && existing != key {
+			// The block already backs another prefix (the sequence was
+			// itself attached to a different group) — do not re-publish.
+			continue
+		}
+		m.cache[key] = b
+		m.cachedKey[b] = key
+		m.refs[b]++
+		if m.refs[b] == 1 {
+			m.cacheOnly++ // defensive: registration of an otherwise-unowned block
+		}
+	}
+}
+
+// CachedBlocks returns how many blocks are currently registered in the
+// prefix cache (referenced or not).
+func (m *Manager) CachedBlocks() int {
+	m.initPrefix()
+	return len(m.cache)
+}
+
+// PrefixHits returns (hit count, total tokens served from cache).
+func (m *Manager) PrefixHits() (int, int64) { return m.hits, m.hitTokens }
+
+// evictableBlocks returns cached blocks whose only reference is the cache
+// itself, in deterministic (ascending block id) order.
+func (m *Manager) evictableBlocks() []int {
+	if m.refs == nil {
+		return nil
+	}
+	var out []int
+	for b := range m.cachedKey {
+		if m.refs[b] == 1 {
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// evictOne drops one cache-only block into the free list; reports success.
+func (m *Manager) evictOne() bool {
+	ev := m.evictableBlocks()
+	if len(ev) == 0 {
+		return false
+	}
+	b := ev[0]
+	key := m.cachedKey[b]
+	delete(m.cache, key)
+	delete(m.cachedKey, b)
+	m.refs[b] = 0
+	m.cacheOnly--
+	m.freeList = append(m.freeList, b)
+	m.evictions++
+	return true
+}
+
+// Evictions returns how many cached blocks were reclaimed under pressure.
+func (m *Manager) Evictions() int { return m.evictions }

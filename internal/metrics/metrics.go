@@ -1,0 +1,135 @@
+// Package metrics aggregates the serving metrics the paper reports: TTFT,
+// TPOT, E2EL, token throughput and SLO attainment (§4.1 "Metrics").
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gllm/internal/request"
+	"gllm/internal/stats"
+)
+
+// Record is the outcome of one finished request.
+type Record struct {
+	ID           int64
+	Arrival      time.Duration
+	TTFT         time.Duration
+	TPOT         time.Duration
+	E2E          time.Duration
+	PromptTokens int
+	OutputTokens int
+	Preemptions  int
+}
+
+// Collector accumulates finished-request records.
+type Collector struct {
+	records []Record
+}
+
+// Observe records a finished request. It panics when the request has not
+// finished — collecting partial requests would corrupt every average.
+func (c *Collector) Observe(r *request.Request) {
+	if !r.Finished() {
+		panic(fmt.Sprintf("metrics: observing unfinished %v", r))
+	}
+	c.records = append(c.records, Record{
+		ID:           r.ID,
+		Arrival:      r.Arrival,
+		TTFT:         r.TTFT(),
+		TPOT:         r.TPOT(),
+		E2E:          r.E2E(),
+		PromptTokens: r.PromptLen,
+		OutputTokens: r.Generated(),
+		Preemptions:  r.Preemptions,
+	})
+}
+
+// Add records a raw record (used by the HTTP benchmark client, which has no
+// *request.Request).
+func (c *Collector) Add(rec Record) { c.records = append(c.records, rec) }
+
+// Count returns the number of finished requests.
+func (c *Collector) Count() int { return len(c.records) }
+
+// Records returns the collected records (shared slice; treat as read-only).
+func (c *Collector) Records() []Record { return c.records }
+
+// Report summarizes the collected requests over the given elapsed serving
+// time (used as the throughput denominator).
+func (c *Collector) Report(elapsed time.Duration) Report {
+	ttft := make([]float64, len(c.records))
+	tpot := make([]float64, len(c.records))
+	e2e := make([]float64, len(c.records))
+	var inTok, outTok int64
+	preempt := 0
+	for i, r := range c.records {
+		ttft[i] = r.TTFT.Seconds()
+		tpot[i] = r.TPOT.Seconds()
+		e2e[i] = r.E2E.Seconds()
+		inTok += int64(r.PromptTokens)
+		outTok += int64(r.OutputTokens)
+		preempt += r.Preemptions
+	}
+	rep := Report{
+		Requests:     len(c.records),
+		Elapsed:      elapsed,
+		TTFT:         stats.Summarize(ttft),
+		TPOT:         stats.Summarize(tpot),
+		E2E:          stats.Summarize(e2e),
+		InputTokens:  inTok,
+		OutputTokens: outTok,
+		Preemptions:  preempt,
+	}
+	if elapsed > 0 {
+		sec := elapsed.Seconds()
+		rep.TokenThroughput = float64(inTok+outTok) / sec
+		rep.OutputThroughput = float64(outTok) / sec
+		rep.RequestThroughput = float64(len(c.records)) / sec
+	}
+	return rep
+}
+
+// SLOAttainment returns the fraction of requests meeting both the TTFT and
+// TPOT constraints (the paper's goodput definition, e.g. "ttft:2000
+// tpot:100" in ms). An empty collector attains 0.
+func (c *Collector) SLOAttainment(ttftLimit, tpotLimit time.Duration) float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, r := range c.records {
+		if r.TTFT <= ttftLimit && r.TPOT <= tpotLimit {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(c.records))
+}
+
+// Report is the summarized outcome of one serving run.
+type Report struct {
+	Requests          int
+	Elapsed           time.Duration
+	TTFT              stats.Summary // seconds
+	TPOT              stats.Summary // seconds
+	E2E               stats.Summary // seconds
+	InputTokens       int64
+	OutputTokens      int64
+	TokenThroughput   float64 // (input+output) tokens / s
+	OutputThroughput  float64 // output tokens / s
+	RequestThroughput float64 // requests / s
+	Preemptions       int
+}
+
+// String renders the report as the experiment tables print it.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests=%d elapsed=%.1fs\n", r.Requests, r.Elapsed.Seconds())
+	fmt.Fprintf(&sb, "  TTFT  mean=%.3fs p99=%.3fs\n", r.TTFT.Mean, r.TTFT.P99)
+	fmt.Fprintf(&sb, "  TPOT  mean=%.1fms p99=%.1fms\n", r.TPOT.Mean*1e3, r.TPOT.P99*1e3)
+	fmt.Fprintf(&sb, "  E2EL  mean=%.3fs p99=%.3fs\n", r.E2E.Mean, r.E2E.P99)
+	fmt.Fprintf(&sb, "  throughput=%.1f tok/s (out %.1f tok/s, %.2f req/s) preemptions=%d\n",
+		r.TokenThroughput, r.OutputThroughput, r.RequestThroughput, r.Preemptions)
+	return sb.String()
+}

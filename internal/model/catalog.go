@@ -1,0 +1,82 @@
+package model
+
+import "fmt"
+
+// Catalog entries matching the paper's evaluated models. Architectural
+// figures follow the public model cards; Llama3.1-100B is the paper's
+// down-scaled Llama3.1-405B (fewer layers, same layer geometry), see paper
+// footnote 3.
+var (
+	// Qwen25_14B is Qwen2.5-14B: 48 layers, GQA 40/8 heads.
+	Qwen25_14B = Config{
+		Name:             "Qwen2.5-14B",
+		NumLayers:        48,
+		HiddenSize:       5120,
+		NumHeads:         40,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateSize: 13824,
+		VocabSize:        152064,
+		DTypeBytes:       2,
+	}
+
+	// Qwen25_32B is Qwen2.5-32B: 64 layers, GQA 40/8 heads.
+	Qwen25_32B = Config{
+		Name:             "Qwen2.5-32B",
+		NumLayers:        64,
+		HiddenSize:       5120,
+		NumHeads:         40,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateSize: 27648,
+		VocabSize:        152064,
+		DTypeBytes:       2,
+	}
+
+	// Mixtral8x7B is a mixture-of-experts model for the paper's §6
+	// future-work extension study (8 experts, top-2 routing; ~47B total,
+	// ~13B active parameters per token).
+	Mixtral8x7B = Config{
+		Name:             "Mixtral-8x7B",
+		NumLayers:        32,
+		HiddenSize:       4096,
+		NumHeads:         32,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateSize: 14336,
+		VocabSize:        32000,
+		DTypeBytes:       2,
+		NumExperts:       8,
+		TopK:             2,
+	}
+
+	// Llama31_100B is Llama3.1-405B down-scaled to ~100B parameters by
+	// keeping the 405B layer geometry and reducing the layer count, exactly
+	// as the paper does to fit GPU memory.
+	Llama31_100B = Config{
+		Name:             "Llama3.1-100B",
+		NumLayers:        30,
+		HiddenSize:       16384,
+		NumHeads:         128,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateSize: 53248,
+		VocabSize:        128256,
+		DTypeBytes:       2,
+	}
+)
+
+// Catalog lists every built-in model.
+func Catalog() []Config {
+	return []Config{Qwen25_14B, Qwen25_32B, Llama31_100B, Mixtral8x7B}
+}
+
+// ByName looks a model up by its exact catalog name.
+func ByName(name string) (Config, error) {
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}

@@ -1,0 +1,199 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"gllm/internal/experiments"
+)
+
+// Section is one block of the report: prose, optional charts, optional
+// preformatted text.
+type Section struct {
+	Title   string
+	Comment string
+	Charts  []template.HTML
+	Pre     string
+}
+
+// Report is a renderable document.
+type Report struct {
+	Title    string
+	Subtitle string
+	Sections []Section
+}
+
+// AddChart appends a chart (SVG string) to a section being built.
+func (s *Section) AddChart(svg string) {
+	s.Charts = append(s.Charts, template.HTML(svg)) // #nosec G203 -- SVG built by this package
+}
+
+var pageTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; max-width: 1200px; margin: 2rem auto; padding: 0 1rem; color: #111827; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; border-bottom: 1px solid #e5e7eb; padding-bottom: .3rem; }
+.subtitle { color: #6b7280; }
+.charts { display: flex; flex-wrap: wrap; gap: 1rem; }
+.comment { color: #374151; max-width: 72ch; }
+pre { background: #f9fafb; border: 1px solid #e5e7eb; padding: .75rem; overflow-x: auto; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="subtitle">{{.Subtitle}}</p>
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{if .Comment}}<p class="comment">{{.Comment}}</p>{{end}}
+{{if .Charts}}<div class="charts">{{range .Charts}}{{.}}{{end}}</div>{{end}}
+{{if .Pre}}<pre>{{.Pre}}</pre>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// Render writes the report as HTML.
+func (r *Report) Render(w io.Writer) error {
+	return pageTmpl.Execute(w, r)
+}
+
+// SweepSection builds a section with one chart per metric from a rate
+// sweep (the Figure 10/12/14 panels).
+func SweepSection(title, comment string, sweeps []experiments.Sweep, withSLO bool) (Section, error) {
+	sec := Section{Title: title, Comment: comment}
+	metrics := []struct {
+		name  string
+		label string
+		get   func(experiments.RatePoint) float64
+	}{
+		{"TTFT", "mean TTFT (s)", func(p experiments.RatePoint) float64 { return p.TTFT }},
+		{"TPOT", "mean TPOT (ms)", func(p experiments.RatePoint) float64 { return p.TPOT * 1e3 }},
+		{"E2EL", "mean E2EL (s)", func(p experiments.RatePoint) float64 { return p.E2E }},
+		{"Throughput", "tokens/s", func(p experiments.RatePoint) float64 { return p.Throughput }},
+	}
+	if withSLO {
+		metrics = append(metrics, struct {
+			name  string
+			label string
+			get   func(experiments.RatePoint) float64
+		}{"SLO", "attainment (%)", func(p experiments.RatePoint) float64 { return p.SLO * 100 }})
+	}
+	for _, m := range metrics {
+		var series []Series
+		for _, sw := range sweeps {
+			s := Series{Name: sw.System}
+			for _, p := range sw.Points {
+				s.X = append(s.X, p.Rate)
+				s.Y = append(s.Y, m.get(p))
+			}
+			series = append(series, s)
+		}
+		svg, err := LineChart(ChartOptions{
+			Title:  m.name,
+			XLabel: "request rate (req/s)",
+			YLabel: m.label,
+			Width:  380, Height: 260,
+		}, series)
+		if err != nil {
+			return sec, fmt.Errorf("report: %s/%s: %w", title, m.name, err)
+		}
+		sec.AddChart(svg)
+	}
+	return sec, nil
+}
+
+// TokenSeriesSection builds the Figure 1 section: per-iteration batched
+// token counts for both systems.
+func TokenSeriesSection(res *experiments.Fig1Result) (Section, error) {
+	sec := Section{
+		Title: "Figure 1 — scheduled token volatility",
+		Comment: fmt.Sprintf("Sarathi std %.1f vs gLLM %.1f tokens per iteration (%.2fx noisier). "+
+			"The balanced schedule holds a near-constant level.",
+			res.Sarathi.Std, res.GLLM.Std, res.VolatilityRatio()),
+	}
+	mk := func(name string, ys []float64) Series {
+		s := Series{Name: name}
+		limit := len(ys)
+		if limit > 400 {
+			limit = 400 // keep the SVG small; the shape shows early
+		}
+		for i := 0; i < limit; i++ {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, ys[i])
+		}
+		return s
+	}
+	for _, sys := range []struct {
+		name string
+		ys   []float64
+	}{{"sarathi", res.Sarathi.Total}, {"gllm", res.GLLM.Total}} {
+		svg, err := LineChart(ChartOptions{
+			Title:  sys.name,
+			XLabel: "iteration",
+			YLabel: "batched tokens",
+			Width:  500, Height: 240,
+		}, []Series{mk(sys.name, sys.ys)})
+		if err != nil {
+			return sec, err
+		}
+		sec.AddChart(svg)
+	}
+	return sec, nil
+}
+
+// ScalabilitySection builds the Figure 13 grouped bars.
+func ScalabilitySection(title string, points []experiments.ScalabilityPoint) (Section, error) {
+	sec := Section{Title: title}
+	// Re-shape: groups by GPU count, one bar per system.
+	var systems []string
+	sysIdx := map[string]int{}
+	gpuSet := map[int]bool{}
+	for _, p := range points {
+		if _, ok := sysIdx[p.System]; !ok {
+			sysIdx[p.System] = len(systems)
+			systems = append(systems, p.System)
+		}
+		gpuSet[p.GPUs] = true
+	}
+	var gpus []int
+	for g := range gpuSet {
+		gpus = append(gpus, g)
+	}
+	for i := 0; i < len(gpus); i++ {
+		for j := i + 1; j < len(gpus); j++ {
+			if gpus[j] < gpus[i] {
+				gpus[i], gpus[j] = gpus[j], gpus[i]
+			}
+		}
+	}
+	groups := make([]BarGroup, len(gpus))
+	for i, g := range gpus {
+		groups[i] = BarGroup{Label: fmt.Sprintf("%d GPUs", g), Values: make([]float64, len(systems))}
+	}
+	for _, p := range points {
+		for i, g := range gpus {
+			if g == p.GPUs {
+				groups[i].Values[sysIdx[p.System]] = p.Tput
+			}
+		}
+	}
+	svg, err := BarChart(ChartOptions{
+		Title:  "max throughput",
+		YLabel: "tokens/s",
+		Width:  560, Height: 300,
+	}, systems, groups)
+	if err != nil {
+		return sec, err
+	}
+	sec.AddChart(svg)
+	return sec, nil
+}
+
+// TextSection wraps preformatted experiment output.
+func TextSection(title, comment, pre string) Section {
+	return Section{Title: title, Comment: comment, Pre: pre}
+}

@@ -1,0 +1,197 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"gllm/internal/experiments"
+)
+
+// assertWellFormedSVG parses the fragment as XML.
+func assertWellFormedSVG(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChartBasics(t *testing.T) {
+	svg, err := LineChart(ChartOptions{Title: "t", XLabel: "x", YLabel: "y"}, []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 4, 2}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d", got)
+	}
+	if !strings.Contains(svg, ">a</text>") || !strings.Contains(svg, ">b</text>") {
+		t.Fatal("legend labels missing")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := LineChart(ChartOptions{}, nil); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if _, err := LineChart(ChartOptions{}, []Series{{Name: "a", X: []float64{1}, Y: nil}}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := LineChart(ChartOptions{}, []Series{{Name: "a"}}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	svg, err := LineChart(ChartOptions{}, []Series{{Name: "p", X: []float64{5}, Y: []float64{3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate coordinates leaked")
+	}
+}
+
+func TestLineChartEscapesLabels(t *testing.T) {
+	svg, err := LineChart(ChartOptions{Title: `a<b&"c"`}, []Series{
+		{Name: "<script>", X: []float64{0, 1}, Y: []float64{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, svg)
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("unescaped label")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg, err := BarChart(ChartOptions{Title: "bars", YLabel: "v"},
+		[]string{"s1", "s2"},
+		[]BarGroup{
+			{Label: "g1", Values: []float64{10, 20}},
+			{Label: "g2", Values: []float64{15, 5}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, svg)
+	// 4 bars + 2 legend swatches + 1 background.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Fatalf("rects = %d", got)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := BarChart(ChartOptions{}, nil, nil); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	if _, err := BarChart(ChartOptions{}, []string{"a"}, []BarGroup{{Label: "g", Values: []float64{1, 2}}}); err == nil {
+		t.Fatal("mismatched values accepted")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	// Degenerate range must not loop forever.
+	if got := niceTicks(5, 5, 4); len(got) == 0 {
+		t.Fatal("degenerate range produced no ticks")
+	}
+}
+
+func TestSweepSectionAndRender(t *testing.T) {
+	sweeps := []experiments.Sweep{
+		{System: "vllm", Points: []experiments.RatePoint{
+			{Rate: 1, TTFT: 0.2, TPOT: 0.05, E2E: 8, Throughput: 400, SLO: 0.9},
+			{Rate: 2, TTFT: 0.4, TPOT: 0.07, E2E: 10, Throughput: 700, SLO: 0.5},
+		}},
+		{System: "gllm", Points: []experiments.RatePoint{
+			{Rate: 1, TTFT: 0.3, TPOT: 0.04, E2E: 7, Throughput: 420, SLO: 0.95},
+			{Rate: 2, TTFT: 0.35, TPOT: 0.05, E2E: 8, Throughput: 760, SLO: 0.92},
+		}},
+	}
+	sec, err := SweepSection("Figure 10", "intra-node", sweeps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Charts) != 5 {
+		t.Fatalf("charts = %d, want 5 (incl. SLO)", len(sec.Charts))
+	}
+
+	rep := Report{Title: "gLLM reproduction", Subtitle: "test", Sections: []Section{sec, TextSection("raw", "", "x=1")}}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "Figure 10", "<svg", "x=1"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestTokenSeriesSection(t *testing.T) {
+	res := &experiments.Fig1Result{
+		Sarathi: experiments.Fig1Series{System: "vllm", Total: []float64{100, 2000, 50, 1800}, Std: 900, Mean: 987},
+		GLLM:    experiments.Fig1Series{System: "gllm", Total: []float64{500, 520, 480, 510}, Std: 15, Mean: 502},
+	}
+	sec, err := TokenSeriesSection(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Charts) != 2 {
+		t.Fatalf("charts = %d", len(sec.Charts))
+	}
+	for _, c := range sec.Charts {
+		assertWellFormedSVG(t, string(c))
+	}
+}
+
+func TestScalabilitySection(t *testing.T) {
+	points := []experiments.ScalabilityPoint{
+		{System: "vllm", GPUs: 1, Tput: 1000},
+		{System: "vllm", GPUs: 4, Tput: 3500},
+		{System: "gllm", GPUs: 1, Tput: 1200},
+		{System: "gllm", GPUs: 4, Tput: 4600},
+	}
+	sec, err := ScalabilitySection("Figure 13a", points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Charts) != 1 {
+		t.Fatalf("charts = %d", len(sec.Charts))
+	}
+	assertWellFormedSVG(t, string(sec.Charts[0]))
+	if !strings.Contains(string(sec.Charts[0]), "1 GPUs") {
+		t.Fatal("group labels missing")
+	}
+}

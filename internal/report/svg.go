@@ -1,0 +1,231 @@
+// Package report renders the reproduction's experiment results into a
+// single self-contained HTML report with inline SVG charts (stdlib only —
+// the charts are hand-rolled). cmd/gllm-report drives it.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a line chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// BarGroup is one cluster of a grouped bar chart (one bar per series).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// ChartOptions controls chart geometry and labeling.
+type ChartOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 560
+	Height int // default 320
+}
+
+func (o *ChartOptions) applyDefaults() {
+	if o.Width == 0 {
+		o.Width = 560
+	}
+	if o.Height == 0 {
+		o.Height = 320
+	}
+}
+
+// palette are the series colors (colorblind-safe-ish).
+var palette = []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2"}
+
+const (
+	padLeft   = 64.0
+	padRight  = 16.0
+	padTop    = 36.0
+	padBottom = 48.0
+)
+
+// niceTicks picks ~n human-friendly tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+	}
+	for span/step > float64(n) {
+		step *= 2.5
+		if span/step <= float64(n) {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// LineChart renders a multi-series line chart as an SVG fragment.
+func LineChart(opts ChartOptions, series []Series) (string, error) {
+	opts.applyDefaults()
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: LineChart with no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("report: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minY > 0 && minY < maxY/2 {
+		minY = 0 // anchor at zero when it reads better
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	w, h := float64(opts.Width), float64(opts.Height)
+	plotW := w - padLeft - padRight
+	plotH := h - padTop - padBottom
+	px := func(x float64) float64 { return padLeft + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return padTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`, opts.Width, opts.Height)
+	fmt.Fprintf(&sb, `<text x="%g" y="18" font-size="13" font-weight="bold">%s</text>`, padLeft, escape(opts.Title))
+
+	// Gridlines and axes.
+	for _, ty := range niceTicks(minY, maxY, 5) {
+		y := py(ty)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#e5e7eb"/>`, padLeft, y, w-padRight, y)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="end" fill="#6b7280">%s</text>`, padLeft-6, y+4, fmtTick(ty))
+	}
+	for _, tx := range niceTicks(minX, maxX, 6) {
+		x := px(tx)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#f3f4f6"/>`, x, padTop, x, h-padBottom)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle" fill="#6b7280">%s</text>`, x, h-padBottom+16, fmtTick(tx))
+	}
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#111827"/>`, padLeft, h-padBottom, w-padRight, h-padBottom)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#111827"/>`, padLeft, padTop, padLeft, h-padBottom)
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle" fill="#374151">%s</text>`, padLeft+plotW/2, h-10, escape(opts.XLabel))
+	fmt.Fprintf(&sb, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)" fill="#374151">%s</text>`,
+		padTop+plotH/2, padTop+plotH/2, escape(opts.YLabel))
+
+	// Series.
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), color)
+		for j := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, px(s.X[j]), py(s.Y[j]), color)
+		}
+		// Legend.
+		lx := padLeft + 8 + float64(i)*120
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`, lx, padTop-12, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g">%s</text>`, lx+14, padTop-3, escape(s.Name))
+	}
+	sb.WriteString("</svg>")
+	return sb.String(), nil
+}
+
+// BarChart renders a grouped bar chart as an SVG fragment. seriesNames
+// labels each bar within a group.
+func BarChart(opts ChartOptions, seriesNames []string, groups []BarGroup) (string, error) {
+	opts.applyDefaults()
+	if len(groups) == 0 || len(seriesNames) == 0 {
+		return "", fmt.Errorf("report: BarChart needs groups and series names")
+	}
+	maxY := math.Inf(-1)
+	for _, g := range groups {
+		if len(g.Values) != len(seriesNames) {
+			return "", fmt.Errorf("report: group %q has %d values, want %d", g.Label, len(g.Values), len(seriesNames))
+		}
+		for _, v := range g.Values {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+
+	w, h := float64(opts.Width), float64(opts.Height)
+	plotW := w - padLeft - padRight
+	plotH := h - padTop - padBottom
+	py := func(y float64) float64 { return padTop + plotH - y/maxY*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`,
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`, opts.Width, opts.Height)
+	fmt.Fprintf(&sb, `<text x="%g" y="18" font-size="13" font-weight="bold">%s</text>`, padLeft, escape(opts.Title))
+	for _, ty := range niceTicks(0, maxY, 5) {
+		y := py(ty)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#e5e7eb"/>`, padLeft, y, w-padRight, y)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="end" fill="#6b7280">%s</text>`, padLeft-6, y+4, fmtTick(ty))
+	}
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#111827"/>`, padLeft, h-padBottom, w-padRight, h-padBottom)
+	fmt.Fprintf(&sb, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)" fill="#374151">%s</text>`,
+		padTop+plotH/2, padTop+plotH/2, escape(opts.YLabel))
+
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(seriesNames))
+	for gi, g := range groups {
+		gx := padLeft + float64(gi)*groupW + groupW*0.1
+		for si, v := range g.Values {
+			color := palette[si%len(palette)]
+			x := gx + float64(si)*barW
+			y := py(v)
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, y, barW*0.92, (padTop+plotH)-y, color)
+		}
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle" fill="#374151">%s</text>`,
+			gx+groupW*0.4, h-padBottom+16, escape(g.Label))
+	}
+	for si, name := range seriesNames {
+		color := palette[si%len(palette)]
+		lx := padLeft + 8 + float64(si)*120
+		fmt.Fprintf(&sb, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`, lx, padTop-12, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g">%s</text>`, lx+14, padTop-3, escape(name))
+	}
+	sb.WriteString("</svg>")
+	return sb.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,147 @@
+package runtime
+
+import (
+	"time"
+
+	"gllm/internal/kvcache"
+	"gllm/internal/request"
+	"gllm/internal/sched"
+)
+
+// driverLoop is the driver worker (§3.3): it owns the request pool, the KV
+// cache and the scheduler, admits requests from the frontend, injects
+// micro-batches into stage 0, and retires batches arriving from the last
+// stage — emitting token events to the submitters.
+func (rt *Runtime) driverLoop() {
+	defer close(rt.stopped)
+
+	depth := len(rt.workers)
+	pool := sched.NewPool(kvcache.New(rt.kvCapacity, rt.cfg.KVBlockSize), depth)
+	pool.EnablePrefixCache = rt.cfg.EnablePrefixCache
+	pool.AllowPipelinedChunks = rt.cfg.EnableCPP
+	subs := make(map[int64]*submission)
+
+	inFlight := 0
+	iterations := 0
+	finished := 0
+	seq := 0
+
+	updateSnapshot := func() {
+		rt.mu.Lock()
+		rt.snapshot = Snapshot{
+			Iterations:     iterations,
+			InFlight:       inFlight,
+			WaitingPrefill: pool.WaitingPrefillTokens(),
+			RunningDecode:  pool.RunningDecode(),
+			KVFreeRate:     pool.KV.FreeRate(),
+			Finished:       finished,
+			Preemptions:    pool.Preemptions(),
+		}
+		rt.mu.Unlock()
+	}
+
+	// emit streams the tokens a request gained in this batch (indices
+	// pre..Generated-1). Event channels are buffered for the full output,
+	// so sends never block the driver.
+	emit := func(r *request.Request, pre int) {
+		sub := subs[r.ID]
+		if sub == nil {
+			return
+		}
+		for i := pre; i < r.Generated(); i++ {
+			tok := TokenValue(r.ID, i)
+			sub.events <- TokenEvent{
+				ReqID:    r.ID,
+				Index:    i,
+				Token:    tok,
+				Text:     TokenText(tok),
+				Finished: r.Finished() && i == r.Generated()-1,
+			}
+		}
+		if r.Finished() {
+			close(sub.events)
+			delete(subs, r.ID)
+			rt.mu.Lock()
+			rt.collector.Observe(r)
+			rt.mu.Unlock()
+		}
+	}
+
+	tryInject := func() {
+		for inFlight < depth {
+			b := rt.cfg.Scheduler.Schedule(pool, time.Since(rt.start))
+			if b.Empty() {
+				return
+			}
+			seq++
+			iterations++
+			inFlight++
+			mb := &microBatch{seq: seq, batch: b, shape: b.Shape()}
+			prep := rt.cfg.Prep.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
+			if rt.cfg.Async {
+				// Dual-phase: metadata first, to every stage, so workers
+				// prepare inputs while earlier batches still compute.
+				for _, w := range rt.workers {
+					w.metaCh <- mb
+				}
+				rt.sleepScaled(prep) // Token Throttling residual only
+			} else {
+				// Coupled runtime: input preparation on the critical path.
+				rt.sleepScaled(prep)
+			}
+			rt.workers[0].workCh <- mb
+		}
+	}
+
+	handleDone := func(mb *microBatch) {
+		// Capture per-request progress before committing so we can emit
+		// exactly the tokens this batch produced.
+		pre := make(map[*request.Request]int)
+		for _, c := range mb.batch.Chunks {
+			pre[c.Req] = c.Req.Generated()
+		}
+		for _, d := range mb.batch.Decodes {
+			pre[d] = d.Generated()
+		}
+		fin := pool.Complete(mb.batch, time.Since(rt.start))
+		for r, g := range pre {
+			emit(r, g)
+		}
+		finished += len(fin)
+		inFlight--
+	}
+
+	stopCh := rt.stopCh
+	draining := false
+	for {
+		if draining && inFlight == 0 {
+			for _, w := range rt.workers {
+				if rt.cfg.Async {
+					close(w.metaCh)
+				}
+			}
+			close(rt.workers[0].workCh)
+			updateSnapshot()
+			return
+		}
+		select {
+		case sub := <-rt.submitCh:
+			if draining {
+				close(sub.events)
+				continue
+			}
+			subs[sub.req.ID] = sub
+			pool.Add(sub.req)
+			tryInject()
+		case mb := <-rt.doneCh:
+			handleDone(mb)
+			if !draining {
+				tryInject()
+			}
+		case <-stopCh:
+			stopCh = nil
+			draining = true
+		}
+		updateSnapshot()
+	}
+}

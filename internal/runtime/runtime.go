@@ -1,0 +1,285 @@
+// Package runtime implements the gLLM asynchronous serving runtime (§3.3)
+// as a real concurrent system: a driver goroutine that owns scheduling and
+// the KV cache, one worker goroutine per pipeline stage, and a decoupled
+// frontend (Submit returns immediately; tokens stream back on a channel).
+//
+// The paper's three design principles map directly onto Go concurrency:
+//
+//  1. Non-blocking pipeline operations — workers receive work over
+//     channels and never spin-wait; the driver never blocks on emission.
+//  2. Decoupled frontend/backend — Submit is safe from any goroutine and
+//     communicates with the driver only through a channel.
+//  3. Preemptive (dual-phase) metadata scheduling — in async mode the
+//     driver broadcasts a metadata packet to every stage as soon as a
+//     micro-batch is scheduled; each worker prepares its inputs from the
+//     metadata in a side goroutine, overlapping preparation with the
+//     compute of earlier batches. In sync mode (the vLLM-like baseline)
+//     metadata travels with the activations and preparation sits on the
+//     critical path.
+//
+// GPU compute is emulated: stage execution occupies the worker for the
+// duration given by the same gpu.CostModel the discrete-event engine uses,
+// scaled by Config.TimeScale (0 disables sleeping entirely, useful for
+// tests and for the fastest-possible serving of synthetic tokens).
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gllm/internal/engine"
+	"gllm/internal/gpu"
+	"gllm/internal/metrics"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/request"
+	"gllm/internal/sched"
+)
+
+// Config describes a runtime deployment.
+type Config struct {
+	Model model.Config
+	GPU   gpu.Spec
+	Topo  network.Topology
+	// MemUtil is the KV memory fraction (default 0.9).
+	MemUtil float64
+	// KVBlockSize is tokens per KV block (default 16).
+	KVBlockSize int
+	Scheduler   sched.Scheduler
+	// Async selects the gLLM dual-phase runtime; false gives the coupled
+	// (vLLM-like) baseline.
+	Async bool
+	// EnablePrefixCache turns on cross-request KV reuse for submissions
+	// that declare a prefix group.
+	EnablePrefixCache bool
+	// EnableCPP turns on chunked pipeline parallelism for long prompts.
+	EnableCPP bool
+	// Prep prices the control-plane CPU work (defaults: engine.VLLMRuntime
+	// when coupled, engine.GLLMRuntime when async).
+	Prep engine.RuntimeModel
+	// TimeScale converts modeled GPU time into wall-clock sleeps
+	// (e.g. 0.001 = 1000x faster than modeled). Zero disables sleeping.
+	TimeScale float64
+	// QueueDepth bounds the submit channel (default 1024).
+	QueueDepth int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MemUtil == 0 {
+		c.MemUtil = 0.9
+	}
+	if c.KVBlockSize == 0 {
+		c.KVBlockSize = 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Prep.Name == "" {
+		if c.Async {
+			c.Prep = engine.GLLMRuntime
+		} else {
+			c.Prep = engine.VLLMRuntime
+		}
+	}
+}
+
+// TokenEvent is one generated token streamed back to the submitter.
+type TokenEvent struct {
+	ReqID    int64
+	Index    int // 0-based output token index
+	Token    uint64
+	Text     string
+	Finished bool
+}
+
+// Handle tracks one submitted request.
+type Handle struct {
+	ID int64
+	// Events delivers every generated token; it is closed after the final
+	// (Finished) event. The channel is buffered for the full output, so
+	// slow consumers never stall the driver.
+	Events <-chan TokenEvent
+}
+
+// Snapshot is a point-in-time view of runtime state.
+type Snapshot struct {
+	Iterations     int
+	InFlight       int
+	WaitingPrefill int
+	RunningDecode  int
+	KVFreeRate     float64
+	Finished       int
+	Preemptions    int
+}
+
+// Runtime is a live serving deployment.
+type Runtime struct {
+	cfg         Config
+	cost        gpu.CostModel
+	stageLayers []int
+	kvCapacity  int64
+
+	submitCh chan *submission
+	doneCh   chan *microBatch
+	stopCh   chan struct{}
+	stopped  chan struct{}
+
+	workers []*worker
+
+	mu        sync.Mutex
+	collector metrics.Collector
+	snapshot  Snapshot
+
+	nextID int64
+	start  time.Time
+}
+
+type submission struct {
+	req    *request.Request
+	events chan TokenEvent
+}
+
+// microBatch is the unit passed through the pipeline.
+type microBatch struct {
+	seq   int
+	batch *sched.Batch
+	shape gpu.BatchShape
+}
+
+// ErrStopped is returned by Submit after Shutdown.
+var ErrStopped = errors.New("runtime: stopped")
+
+// Start validates the configuration, spawns the driver and stage workers,
+// and returns a serving runtime.
+func Start(cfg Config) (*Runtime, error) {
+	cfg.applyDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("runtime: nil scheduler")
+	}
+	depth := cfg.Topo.GPUs()
+	if depth < 1 || depth > cfg.Model.NumLayers {
+		return nil, fmt.Errorf("runtime: invalid pipeline depth %d", depth)
+	}
+	cost := gpu.NewCostModel(cfg.Model, cfg.GPU)
+	stageLayers := cfg.Model.StageLayers(depth)
+	kvCap := cost.KVCapacityTokensPP(stageLayers, cfg.MemUtil)
+	if kvCap < int64(cfg.KVBlockSize) {
+		return nil, fmt.Errorf("runtime: %s does not fit on %d x %s", cfg.Model.Name, depth, cfg.GPU.Name)
+	}
+
+	rt := &Runtime{
+		cfg:         cfg,
+		cost:        cost,
+		stageLayers: stageLayers,
+		kvCapacity:  kvCap,
+		submitCh:    make(chan *submission, cfg.QueueDepth),
+		doneCh:      make(chan *microBatch, depth+1),
+		stopCh:      make(chan struct{}),
+		stopped:     make(chan struct{}),
+		start:       time.Now(),
+	}
+	rt.workers = make([]*worker, depth)
+	for i := range rt.workers {
+		rt.workers[i] = newWorker(rt, i)
+	}
+	// Wire activation channels stage i -> i+1; the last feeds doneCh.
+	for i, w := range rt.workers {
+		w.start(i+1 < depth)
+	}
+	go rt.driverLoop()
+	return rt, nil
+}
+
+// KVCapacityTokens returns the derived KV capacity of the deployment.
+func (rt *Runtime) KVCapacityTokens() int64 { return rt.kvCapacity }
+
+// Submit enqueues a request with the given prompt and output lengths and
+// returns a handle streaming its tokens. It is safe for concurrent use.
+func (rt *Runtime) Submit(promptLen, maxTokens int) (*Handle, error) {
+	return rt.SubmitWithPrefix(promptLen, maxTokens, 0, 0)
+}
+
+// SubmitWithPrefix is Submit for a request whose first sharedLen prompt
+// tokens are shared content of the given prefix group (requires
+// Config.EnablePrefixCache for reuse to occur).
+func (rt *Runtime) SubmitWithPrefix(promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
+	if promptLen <= 0 || maxTokens <= 0 {
+		return nil, fmt.Errorf("runtime: invalid lengths %d/%d", promptLen, maxTokens)
+	}
+	if sharedLen < 0 || sharedLen > promptLen {
+		return nil, fmt.Errorf("runtime: shared prefix %d out of prompt %d", sharedLen, promptLen)
+	}
+	if int64(promptLen+maxTokens) > rt.kvCapacity {
+		return nil, fmt.Errorf("runtime: request needs %d KV tokens, capacity %d", promptLen+maxTokens, rt.kvCapacity)
+	}
+	rt.mu.Lock()
+	id := rt.nextID
+	rt.nextID++
+	rt.mu.Unlock()
+
+	req := request.New(id, time.Since(rt.start), promptLen, maxTokens)
+	req.PrefixGroup = group
+	req.SharedPrefixLen = sharedLen
+	events := make(chan TokenEvent, maxTokens)
+	sub := &submission{req: req, events: events}
+	// Refuse new work once stopped (checked first: the buffered submit
+	// channel may still have space, and select picks ready cases randomly).
+	select {
+	case <-rt.stopCh:
+		return nil, ErrStopped
+	default:
+	}
+	select {
+	case rt.submitCh <- sub:
+		return &Handle{ID: id, Events: events}, nil
+	case <-rt.stopCh:
+		return nil, ErrStopped
+	}
+}
+
+// Stats returns a snapshot of runtime counters.
+func (rt *Runtime) Stats() Snapshot {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.snapshot
+}
+
+// Report summarizes all finished requests so far.
+func (rt *Runtime) Report() metrics.Report {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.collector.Report(time.Since(rt.start))
+}
+
+// Shutdown stops the runtime, waiting for in-flight micro-batches to drain
+// (but not for queued requests to finish). It is idempotent.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
+	select {
+	case <-rt.stopCh:
+	default:
+		close(rt.stopCh)
+	}
+	select {
+	case <-rt.stopped:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sleepScaled emulates occupancy of modeled duration d.
+func (rt *Runtime) sleepScaled(d time.Duration) {
+	if rt.cfg.TimeScale <= 0 || d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) * rt.cfg.TimeScale))
+}

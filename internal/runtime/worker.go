@@ -1,0 +1,122 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// worker is one pipeline-stage worker process. In async mode it runs two
+// goroutines: a metadata loop that prepares input descriptors as soon as
+// the driver's broadcast arrives (overlapping preparation with compute of
+// earlier batches — the paper's "preemptive metadata scheduling"), and a
+// compute loop that executes micro-batches and forwards activations.
+type worker struct {
+	rt     *Runtime
+	idx    int
+	layers int
+
+	metaCh chan *microBatch
+	workCh chan *microBatch
+	next   *worker
+
+	prepared sync.Map // seq -> chan struct{}, closed once inputs are built
+	// PreparedEarly counts batches whose inputs were ready before the
+	// activations arrived (observability for the overlap design).
+	preparedEarly atomic.Int64
+	computed      atomic.Int64
+}
+
+func newWorker(rt *Runtime, idx int) *worker {
+	return &worker{
+		rt:     rt,
+		idx:    idx,
+		layers: rt.stageLayers[idx],
+		metaCh: make(chan *microBatch, 2*len(rt.stageLayers)+4),
+		workCh: make(chan *microBatch, 2*len(rt.stageLayers)+4),
+	}
+}
+
+// start wires the worker to its successor and spawns its goroutines.
+func (w *worker) start(hasNext bool) {
+	if hasNext {
+		w.next = w.rt.workers[w.idx+1]
+	}
+	if w.rt.cfg.Async {
+		go w.metaLoop()
+	}
+	go w.computeLoop()
+}
+
+// preparedSignal returns the readiness channel for a batch, creating it on
+// first use (meta and work paths race benignly through LoadOrStore).
+func (w *worker) preparedSignal(seq int) chan struct{} {
+	ch, _ := w.prepared.LoadOrStore(seq, make(chan struct{}))
+	return ch.(chan struct{})
+}
+
+// inputDesc is the per-sequence input metadata a stage builds before it can
+// launch its kernels (token positions, context lengths).
+type inputDesc struct {
+	reqID  int64
+	tokens int
+	ctx    int
+}
+
+// buildInputs constructs the stage's input descriptors from a metadata
+// packet. This is the work that the async runtime hides off the critical
+// path.
+func buildInputs(mb *microBatch) []inputDesc {
+	out := make([]inputDesc, 0, len(mb.batch.Chunks)+len(mb.batch.Decodes))
+	for _, c := range mb.batch.Chunks {
+		out = append(out, inputDesc{reqID: c.Req.ID, tokens: c.Tokens, ctx: c.CtxStart})
+	}
+	for _, d := range mb.batch.Decodes {
+		out = append(out, inputDesc{reqID: d.ID, tokens: 1, ctx: d.ContextLen()})
+	}
+	return out
+}
+
+// metaLoop receives metadata broadcasts and prepares inputs ahead of the
+// activations.
+func (w *worker) metaLoop() {
+	for mb := range w.metaCh {
+		_ = buildInputs(mb)
+		close(w.preparedSignal(mb.seq))
+	}
+}
+
+// computeLoop executes micro-batches in arrival order and forwards
+// activations downstream (or retires the batch to the driver at the last
+// stage).
+func (w *worker) computeLoop() {
+	defer func() {
+		if w.next != nil {
+			close(w.next.workCh)
+		}
+	}()
+	for mb := range w.workCh {
+		if w.rt.cfg.Async {
+			sig := w.preparedSignal(mb.seq)
+			select {
+			case <-sig:
+				w.preparedEarly.Add(1)
+			default:
+				<-sig
+			}
+			w.prepared.Delete(mb.seq)
+		} else {
+			// Coupled runtime: metadata travels with activations and inputs
+			// are built on the critical path.
+			_ = buildInputs(mb)
+		}
+		w.rt.sleepScaled(w.rt.cost.StageTime(mb.shape, w.layers))
+		w.computed.Add(1)
+		if w.next != nil {
+			actBytes := int64(mb.shape.Tokens()) * w.rt.cfg.Model.ActivationBytesPerToken()
+			w.rt.sleepScaled(w.rt.cfg.Topo.Hop(w.idx).TransferTime(actBytes))
+			w.next.workCh <- mb
+			continue
+		}
+		w.rt.doneCh <- mb
+	}
+}

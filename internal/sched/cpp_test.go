@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"gllm/internal/request"
+)
+
+func TestCPPPipelinesChunksAcrossBatches(t *testing.T) {
+	p := newPool(t, 1<<16, 4)
+	p.AllowPipelinedChunks = true
+	s := NewSarathi(1000)
+	r := request.New(1, 0, 3500, 5)
+	p.Add(r)
+
+	// Without CPP only one chunk could be in flight; with it, consecutive
+	// Schedule calls each carry the next chunk (up to the pipeline depth).
+	b1 := s.Schedule(p, 0)
+	if b1.PrefillTokens() != 1000 {
+		t.Fatalf("batch1 = %d", b1.PrefillTokens())
+	}
+	b2 := s.Schedule(p, 0)
+	if b2.PrefillTokens() != 1000 {
+		t.Fatalf("batch2 = %d (chunk 2 not pipelined)", b2.PrefillTokens())
+	}
+	if len(b2.Chunks) != 1 || b2.Chunks[0].CtxStart != 1000 {
+		t.Fatalf("batch2 ctx start = %+v", b2.Chunks)
+	}
+	b3 := s.Schedule(p, 0)
+	b4 := s.Schedule(p, 0)
+	if b3.PrefillTokens() != 1000 || b4.PrefillTokens() != 500 {
+		t.Fatalf("batches 3/4 = %d/%d", b3.PrefillTokens(), b4.PrefillTokens())
+	}
+	if r.InFlightChunks() != 4 {
+		t.Fatalf("in-flight chunks = %d", r.InFlightChunks())
+	}
+	// Depth cap: a fifth chunk cannot be scheduled... (nothing remains here
+	// anyway, so verify the cap with remaining work below).
+	b5 := s.Schedule(p, 0)
+	if !b5.Empty() {
+		t.Fatalf("batch5 not empty: %d tokens", b5.Tokens())
+	}
+
+	// Chunks complete FIFO, one batch at a time.
+	for i, b := range []*Batch{b1, b2, b3, b4} {
+		p.Complete(b, time.Duration(i+1)*time.Second)
+	}
+	if r.State() != request.StateDecoding {
+		t.Fatalf("state = %s", r.State())
+	}
+	if r.TTFT() != 4*time.Second {
+		t.Fatalf("TTFT = %v", r.TTFT())
+	}
+}
+
+func TestCPPDepthCap(t *testing.T) {
+	p := newPool(t, 1<<16, 2) // depth 2: at most 2 chunks in flight
+	p.AllowPipelinedChunks = true
+	s := NewSarathi(500)
+	r := request.New(1, 0, 5000, 5)
+	p.Add(r)
+	b1 := s.Schedule(p, 0)
+	b2 := s.Schedule(p, 0)
+	if b1.PrefillTokens() != 500 || b2.PrefillTokens() != 500 {
+		t.Fatalf("batches = %d/%d", b1.PrefillTokens(), b2.PrefillTokens())
+	}
+	b3 := s.Schedule(p, 0)
+	if !b3.Empty() {
+		t.Fatalf("depth cap violated: batch3 has %d tokens", b3.Tokens())
+	}
+	p.Complete(b1, time.Second)
+	b4 := s.Schedule(p, time.Second)
+	if b4.PrefillTokens() != 500 {
+		t.Fatalf("chunk not released after completion: %d", b4.PrefillTokens())
+	}
+}
+
+func TestCPPOnePerBatch(t *testing.T) {
+	// Even with a huge budget, a request contributes at most one chunk per
+	// micro-batch (same-batch chunks would break the stage-FIFO KV
+	// dependency); the budget spills to other requests instead.
+	p := newPool(t, 1<<16, 4)
+	p.AllowPipelinedChunks = true
+	s := NewSarathi(4096)
+	r1 := request.New(1, 0, 4000, 5)
+	r2 := request.New(2, 0, 600, 5)
+	p.Add(r1)
+	p.Add(r2)
+	b := s.Schedule(p, 0)
+	if len(b.Chunks) != 2 {
+		t.Fatalf("chunks = %d", len(b.Chunks))
+	}
+	// r1 takes the head of the budget (its whole 4000-token prompt), the 96
+	// leftover go to r2 — NOT to a second r1 chunk.
+	if b.Chunks[0].Req != r1 || b.Chunks[0].Tokens != 4000 {
+		t.Fatalf("chunk layout: %+v", b.Chunks)
+	}
+	if b.Chunks[1].Req != r2 || b.Chunks[1].Tokens != 96 {
+		t.Fatalf("chunk layout: %+v", b.Chunks)
+	}
+	seen := map[int64]int{}
+	for _, c := range b.Chunks {
+		seen[c.Req.ID]++
+	}
+	for id, n := range seen {
+		if n > 1 {
+			t.Fatalf("request %d has %d chunks in one batch", id, n)
+		}
+	}
+}
+
+func TestCPPOffPreservesSequentialChunks(t *testing.T) {
+	p := newPool(t, 1<<16, 4)
+	s := NewSarathi(1000)
+	r := request.New(1, 0, 3000, 5)
+	p.Add(r)
+	b1 := s.Schedule(p, 0)
+	if b1.PrefillTokens() != 1000 {
+		t.Fatalf("batch1 = %d", b1.PrefillTokens())
+	}
+	b2 := s.Schedule(p, 0)
+	if !b2.Empty() {
+		t.Fatalf("CPP off but chunk 2 scheduled: %d tokens", b2.Tokens())
+	}
+}
+
+func TestCPPFullServeDrains(t *testing.T) {
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewSarathi(2048) },
+		func() Scheduler { return NewDefaultThrottle() },
+	} {
+		s := mk()
+		p := newPool(t, 1<<15, 4)
+		p.AllowPipelinedChunks = true
+		for i := 0; i < 12; i++ {
+			p.Add(request.New(int64(i), 0, 2000+i*333, 8))
+		}
+		finished := 0
+		now := time.Duration(0)
+		for iter := 0; !p.Idle(); iter++ {
+			if iter > 20000 {
+				t.Fatalf("%s: did not drain", s.Name())
+			}
+			b := s.Schedule(p, now)
+			now += time.Millisecond
+			// Empty batches are legal mid-flight under CPP (all chunks in
+			// flight); complete the oldest pending batch semantics are
+			// handled by completing immediately here.
+			if !b.Empty() {
+				finished += len(p.Complete(b, now))
+			} else if p.Idle() {
+				break
+			} else {
+				t.Fatalf("%s: empty batch with nothing in flight at iter %d", s.Name(), iter)
+			}
+			if err := p.KV.Verify(); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+		}
+		if finished != 12 {
+			t.Fatalf("%s: finished %d/12", s.Name(), finished)
+		}
+	}
+}

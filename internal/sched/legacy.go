@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"gllm/internal/request"
+)
+
+// The paper's §2.2 traces the evolution of LLM scheduling: batch-level
+// (FasterTransformer), iteration-level (Orca), chunked hybrid
+// (Sarathi-Serve), and finally Token Throttling. The two pre-Sarathi
+// policies are implemented here so the whole lineage can be compared on
+// one workload (the SchedulingEvolution experiment).
+
+// allowAll is the nil-filter default.
+func allowAll(*request.Request) bool { return true }
+
+// buildPrefillFiltered is buildPrefill restricted to requests accepted by
+// allow, optionally disabling chunking (whole prompts only — the
+// pre-Sarathi behavior).
+func (p *Pool) buildPrefillFiltered(b *Batch, budget int, now time.Duration, allow func(*request.Request) bool, wholePrompts bool) {
+	if allow == nil {
+		allow = allowAll
+	}
+	inThisBatch := make(map[*request.Request]bool, len(b.Chunks))
+	for _, c := range b.Chunks {
+		inThisBatch[c.Req] = true
+	}
+	queue := p.prefillQ
+	for _, r := range queue {
+		if budget <= 0 {
+			return
+		}
+		if !allow(r) || inThisBatch[r] || r.RemainingPrefill() == 0 || r.InFlightChunks() > 0 {
+			continue
+		}
+		if r.State() != request.StateWaiting && r.State() != request.StatePrefilling {
+			continue
+		}
+		id := kvSeq(r)
+		chunk := r.RemainingPrefill()
+		if wholePrompts {
+			// All-or-nothing: the whole remaining prompt must fit in both
+			// the budget and the KV cache, or the request waits.
+			if chunk > budget || chunk > p.maxPrefillAllocatableFor(id) {
+				continue
+			}
+		} else {
+			if chunk > budget {
+				chunk = budget
+			}
+			if fit := p.maxPrefillAllocatableFor(id); chunk > fit {
+				chunk = fit
+			}
+			if chunk <= 0 {
+				return
+			}
+		}
+		if err := p.KV.Allocate(id, chunk); err != nil {
+			panic(fmt.Sprintf("sched: legacy prefill alloc: %v", err))
+		}
+		ctxStart := r.PrefillDone()
+		r.ScheduleChunk(chunk, now)
+		b.Chunks = append(b.Chunks, Chunk{Req: r, Tokens: chunk, CtxStart: ctxStart})
+		inThisBatch[r] = true
+		budget -= chunk
+	}
+}
+
+// buildDecodeFiltered is buildDecode restricted to requests accepted by
+// allow.
+func (p *Pool) buildDecodeFiltered(b *Batch, maxSeqs int, allow func(*request.Request) bool) {
+	if allow == nil {
+		allow = allowAll
+	}
+	if maxSeqs <= 0 {
+		return
+	}
+	candidates := make([]*request.Request, len(p.decoding))
+	copy(candidates, p.decoding)
+	scheduled := 0
+	for _, r := range candidates {
+		if scheduled >= maxSeqs {
+			return
+		}
+		if !allow(r) || r.State() != request.StateDecoding || r.DecodeBusy() {
+			continue
+		}
+		if !p.ensureDecodeSlot(r) {
+			continue
+		}
+		r.ScheduleDecode()
+		b.Decodes = append(b.Decodes, r)
+		scheduled++
+	}
+}
+
+// Orca is iteration-level scheduling without chunked prefill (Orca, OSDI
+// '22): requests enter and leave the batch at iteration boundaries, but a
+// prompt is always processed whole — long prefills therefore stall ongoing
+// decodes, the problem Sarathi-Serve later fixed.
+type Orca struct {
+	// MaxSeqs bounds the concurrent batch (Orca's max batch size).
+	MaxSeqs int
+}
+
+// NewOrca returns the Orca baseline.
+func NewOrca(maxSeqs int) *Orca {
+	if maxSeqs < 1 {
+		panic(fmt.Sprintf("sched: orca MaxSeqs %d", maxSeqs))
+	}
+	return &Orca{MaxSeqs: maxSeqs}
+}
+
+// Name implements Scheduler.
+func (o *Orca) Name() string { return "orca" }
+
+// Schedule implements Scheduler: all available decodes, then whole-prompt
+// admissions up to MaxSeqs.
+func (o *Orca) Schedule(p *Pool, now time.Duration) *Batch {
+	b := &Batch{}
+	p.buildDecodeFiltered(b, o.MaxSeqs, nil)
+	if slots := o.MaxSeqs - len(b.Decodes) - p.inFlightSeqsEstimate(); slots > 0 {
+		// Whole prompts only; an effectively unlimited token budget — the
+		// seq cap is the constraint, exactly Orca's design. Admission slots
+		// go to the first eligible waiting requests.
+		allowed := make(map[*request.Request]bool, slots)
+		for _, r := range p.PrefillQueue() {
+			if len(allowed) >= slots {
+				break
+			}
+			if r.InFlightChunks() == 0 && r.RemainingPrefill() > 0 {
+				allowed[r] = true
+			}
+		}
+		p.buildPrefillFiltered(b, 1<<30, now, func(r *request.Request) bool { return allowed[r] }, true)
+	}
+	return b
+}
+
+// inFlightSeqsEstimate approximates sequences already running in other
+// micro-batches (busy decodes plus requests with chunks in flight).
+func (p *Pool) inFlightSeqsEstimate() int {
+	n := 0
+	for _, r := range p.decoding {
+		if r.DecodeBusy() {
+			n++
+		}
+	}
+	for _, r := range p.prefillQ {
+		if r.InFlightChunks() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BatchLevel is FasterTransformer-style batch-level scheduling: a cohort of
+// requests is admitted together, runs to completion (prefill then decode),
+// and only then is the next cohort admitted. Early-finishing slots idle and
+// late arrivals wait out the whole cohort — the inefficiency Orca's
+// iteration-level scheduling removed.
+type BatchLevel struct {
+	// MaxSeqs is the cohort size.
+	MaxSeqs int
+
+	cohort map[*request.Request]bool
+}
+
+// NewBatchLevel returns the FasterTransformer-style baseline.
+func NewBatchLevel(maxSeqs int) *BatchLevel {
+	if maxSeqs < 1 {
+		panic(fmt.Sprintf("sched: batch-level MaxSeqs %d", maxSeqs))
+	}
+	return &BatchLevel{MaxSeqs: maxSeqs, cohort: make(map[*request.Request]bool)}
+}
+
+// Name implements Scheduler.
+func (s *BatchLevel) Name() string { return "batch-level" }
+
+// Schedule implements Scheduler.
+func (s *BatchLevel) Schedule(p *Pool, now time.Duration) *Batch {
+	// Drop finished cohort members; admit a fresh cohort only when empty.
+	for r := range s.cohort {
+		if r.Finished() {
+			delete(s.cohort, r)
+		}
+	}
+	if len(s.cohort) == 0 {
+		for _, r := range p.prefillQ {
+			if len(s.cohort) >= s.MaxSeqs {
+				break
+			}
+			s.cohort[r] = true
+		}
+	}
+	inCohort := func(r *request.Request) bool { return s.cohort[r] }
+	b := &Batch{}
+	p.buildDecodeFiltered(b, s.MaxSeqs, inCohort)
+	p.buildPrefillFiltered(b, 1<<30, now, inCohort, true)
+	return b
+}

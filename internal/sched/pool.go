@@ -1,0 +1,503 @@
+// Package sched implements iteration-level micro-batch scheduling for LLM
+// serving: the shared request pool (waiting/prefilling/decoding queues plus
+// the paged KV cache), the Sarathi-Serve baseline scheduler (fixed token
+// budget, decode-first then chunked prefill) and the gLLM Token Throttling
+// scheduler (independent, feedback-driven prefill and decode budgets).
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"gllm/internal/core"
+	"gllm/internal/gpu"
+	"gllm/internal/kvcache"
+	"gllm/internal/request"
+)
+
+// Pool is the serving state every scheduler reads and mutates: the prefill
+// FIFO, the decoding set and the KV cache. It is owned by a single driver
+// (event loop or goroutine); it is not safe for concurrent use.
+type Pool struct {
+	KV    *kvcache.Manager
+	Depth int // pipeline depth (#PP_depth)
+	// EnablePrefixCache turns on cross-request KV reuse for requests that
+	// declare a PrefixGroup (the paper integrates prefix caching, §3.4, but
+	// disables it in the evaluation for fair baseline comparison — so it
+	// defaults off here too).
+	EnablePrefixCache bool
+	// AllowPipelinedChunks enables chunked pipeline parallelism (CPP,
+	// Mooncake-style intra-request parallelism the paper also integrates):
+	// a request's next prompt chunk may be scheduled while earlier chunks
+	// are still in flight, as long as each chunk rides a later micro-batch
+	// than its predecessor (stage FIFO order then guarantees chunk c's KV
+	// is written at every stage before chunk c+1 arrives there). At most
+	// one chunk per request per micro-batch, and at most Depth chunks in
+	// flight.
+	AllowPipelinedChunks bool
+
+	prefillQ []*request.Request // waiting or mid-prefill, FIFO; preempted at front
+	decoding []*request.Request // decoding, in prefill-completion order
+
+	// watermark is the minimum number of KV blocks prefill admission must
+	// leave free (vLLM's watermark). Without it, prefill can fill the very
+	// last block and a lone block-aligned decoder would self-preempt and
+	// recompute forever without producing a token.
+	watermark   int
+	preemptions int
+}
+
+// NewPool creates a pool over the given KV manager for a pipeline of the
+// given depth.
+func NewPool(kv *kvcache.Manager, depth int) *Pool {
+	if kv == nil {
+		panic("sched: nil KV manager")
+	}
+	if depth < 1 {
+		panic(fmt.Sprintf("sched: pipeline depth %d", depth))
+	}
+	wm := kv.TotalBlocks() / 100
+	if wm < 1 {
+		wm = 1
+	}
+	return &Pool{KV: kv, Depth: depth, watermark: wm}
+}
+
+// Add admits an arriving request to the prefill queue.
+func (p *Pool) Add(r *request.Request) {
+	if r.State() != request.StateWaiting {
+		panic(fmt.Sprintf("sched: adding %v in state %s", r, r.State()))
+	}
+	p.prefillQ = append(p.prefillQ, r)
+}
+
+// WaitingPrefillTokens returns #WP: remaining (unscheduled) prefill tokens
+// across the queue.
+func (p *Pool) WaitingPrefillTokens() int {
+	n := 0
+	for _, r := range p.prefillQ {
+		n += r.RemainingPrefill()
+	}
+	return n
+}
+
+// RunningDecode returns #RD: the number of sequences in the decode phase
+// (busy or not).
+func (p *Pool) RunningDecode() int { return len(p.decoding) }
+
+// PrefillQueueLen returns the number of requests waiting for (more) prefill.
+func (p *Pool) PrefillQueueLen() int { return len(p.prefillQ) }
+
+// Decoding returns the decoding set (shared slice; treat as read-only).
+func (p *Pool) Decoding() []*request.Request { return p.decoding }
+
+// PrefillQueue returns the prefill FIFO (shared slice; treat as read-only).
+func (p *Pool) PrefillQueue() []*request.Request { return p.prefillQ }
+
+// kvSeq maps a request to its KV-cache sequence ID.
+func kvSeq(r *request.Request) kvcache.SeqID { return kvcache.SeqID(r.ID) }
+
+// Preemptions returns the cumulative preemption count.
+func (p *Pool) Preemptions() int { return p.preemptions }
+
+// Idle reports whether no request is resident in the pool at all.
+func (p *Pool) Idle() bool { return len(p.prefillQ) == 0 && len(p.decoding) == 0 }
+
+// CoreState snapshots the pool as the Token Throttling policy input.
+func (p *Pool) CoreState() core.State {
+	return core.State{
+		WaitingPrefillTokens: p.WaitingPrefillTokens(),
+		KVFreeRate:           p.KV.FreeRate(),
+		RunningDecode:        p.RunningDecode(),
+		PipelineDepth:        p.Depth,
+	}
+}
+
+// younger reports whether a arrived after b (ties broken by ID). Younger
+// requests have lower priority and are preferred eviction victims.
+func younger(a, b *request.Request) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival > b.Arrival
+	}
+	return a.ID > b.ID
+}
+
+// maxPrefillAllocatableFor returns the largest number of new prefill tokens
+// the KV cache can accept for the sequence right now. Fresh admissions
+// (sequences holding no blocks yet) must leave the watermark free so
+// running requests can always progress; continuations may use every free
+// block (vLLM semantics: the watermark gates admission only).
+func (p *Pool) maxPrefillAllocatableFor(id kvcache.SeqID) int {
+	bs := p.KV.BlockSize()
+	cur := p.KV.TokensOf(id)
+	slack := 0
+	if cur%bs != 0 {
+		slack = bs - cur%bs
+	}
+	free := p.KV.FreeBlocks()
+	if cur == 0 {
+		free -= p.watermark
+		if free < 0 {
+			free = 0
+		}
+	}
+	return slack + free*bs
+}
+
+// buildPrefill assembles prefill chunks FIFO up to budget tokens, skipping
+// requests with an in-flight chunk (sequential chunk dependency) and
+// shrinking the final chunk to what the KV cache can hold. KV slots are
+// allocated here, before execution, exactly as the paper's Figure 6
+// describes.
+func (p *Pool) buildPrefill(b *Batch, budget int, now time.Duration) {
+	inThisBatch := make(map[*request.Request]bool, len(b.Chunks))
+	for _, c := range b.Chunks {
+		inThisBatch[c.Req] = true
+	}
+	queue := p.prefillQ // snapshot: evictions may rebuild p.prefillQ
+	for _, r := range queue {
+		if budget <= 0 {
+			return
+		}
+		if r.RemainingPrefill() == 0 || inThisBatch[r] {
+			continue
+		}
+		if r.InFlightChunks() > 0 {
+			// Sequential chunk dependency — unless CPP pipelines chunks one
+			// micro-batch apart (bounded by the pipeline depth).
+			if !p.AllowPipelinedChunks || r.InFlightChunks() >= p.Depth {
+				continue
+			}
+		}
+		if r.State() != request.StateWaiting && r.State() != request.StatePrefilling {
+			continue // evicted-and-rescheduled edge cases
+		}
+		id := kvcache.SeqID(r.ID)
+		if p.EnablePrefixCache && r.PrefixGroup != 0 && r.State() == request.StateWaiting &&
+			r.PrefillDone() == 0 && p.KV.TokensOf(id) == 0 {
+			maxShare := r.SharedPrefixLen
+			if t := r.PrefillTarget() - 1; maxShare > t {
+				maxShare = t
+			}
+			if attached := p.KV.AttachPrefix(id, r.PrefixGroup, maxShare); attached > 0 {
+				r.SkipPrefill(attached)
+			}
+		}
+		chunk := r.RemainingPrefill()
+		if chunk > budget {
+			chunk = budget
+		}
+		fit := p.maxPrefillAllocatableFor(id)
+		if fit == 0 && p.KV.TokensOf(id) > 0 {
+			// A continuation that cannot advance holds blocks hostage;
+			// evict younger holders until it can move (or none remain).
+			for fit == 0 {
+				victim := p.youngestHolderYoungerThan(r)
+				if victim == nil {
+					break
+				}
+				p.evict(victim)
+				fit = p.maxPrefillAllocatableFor(id)
+			}
+		}
+		if chunk > fit {
+			chunk = fit
+		}
+		if chunk <= 0 {
+			// KV exhausted: preserve FCFS rather than letting younger
+			// requests overtake the blocked head.
+			return
+		}
+		if err := p.KV.Allocate(id, chunk); err != nil {
+			panic(fmt.Sprintf("sched: prefill alloc after fit check: %v", err))
+		}
+		// The chunk attends over everything committed plus earlier in-flight
+		// chunks (identical when pipelining is off: nothing is in flight).
+		ctxStart := r.PrefillDone() + r.InFlightPrefill()
+		r.ScheduleChunk(chunk, now)
+		b.Chunks = append(b.Chunks, Chunk{Req: r, Tokens: chunk, CtxStart: ctxStart})
+		inThisBatch[r] = true
+		budget -= chunk
+	}
+}
+
+// buildDecode schedules up to maxSeqs available (non-busy) decoding
+// sequences in FIFO order, allocating one KV slot each. Allocation failures
+// trigger preemption-by-recompute of the lowest-priority (latest) non-busy
+// sequence; if no victim exists the sequence preempts itself.
+func (p *Pool) buildDecode(b *Batch, maxSeqs int) {
+	if maxSeqs <= 0 {
+		return
+	}
+	// Snapshot: preemption mutates p.decoding while we iterate.
+	candidates := make([]*request.Request, len(p.decoding))
+	copy(candidates, p.decoding)
+	scheduled := 0
+	for _, r := range candidates {
+		if scheduled >= maxSeqs {
+			return
+		}
+		if r.State() != request.StateDecoding || r.DecodeBusy() {
+			continue
+		}
+		if !p.ensureDecodeSlot(r) {
+			continue // r was preempted (self) or cannot proceed this round
+		}
+		r.ScheduleDecode()
+		b.Decodes = append(b.Decodes, r)
+		scheduled++
+	}
+}
+
+// buildDecodeWeighted schedules available decoding sequences in FIFO order
+// until their accumulated weight reaches target (cost-aware balancing: the
+// weight function prices a sequence's decode step, e.g. in
+// token-equivalents including its attention context). Semantics otherwise
+// match buildDecode, including preemption on KV exhaustion.
+func (p *Pool) buildDecodeWeighted(b *Batch, target float64, weight func(*request.Request) float64) {
+	if target <= 0 {
+		return
+	}
+	candidates := make([]*request.Request, len(p.decoding))
+	copy(candidates, p.decoding)
+	acc := 0.0
+	for _, r := range candidates {
+		if acc >= target {
+			return
+		}
+		if r.State() != request.StateDecoding || r.DecodeBusy() {
+			continue
+		}
+		if !p.ensureDecodeSlot(r) {
+			continue
+		}
+		r.ScheduleDecode()
+		b.Decodes = append(b.Decodes, r)
+		acc += weight(r)
+	}
+}
+
+// ensureDecodeSlot makes room for one more token of r, preempting younger
+// KV holders as needed. It reports whether r can decode this iteration.
+func (p *Pool) ensureDecodeSlot(r *request.Request) bool {
+	id := kvcache.SeqID(r.ID)
+	for !p.KV.CanAllocate(id, 1) {
+		victim := p.youngestHolderYoungerThan(r)
+		if victim == nil {
+			// r is the youngest holder: preempt r itself (recompute later).
+			p.preempt(r)
+			return false
+		}
+		p.evict(victim)
+	}
+	if err := p.KV.Allocate(id, 1); err != nil {
+		panic(fmt.Sprintf("sched: decode alloc after CanAllocate: %v", err))
+	}
+	return true
+}
+
+// youngestHolderYoungerThan returns the youngest evictable request that is
+// younger than r and holds KV blocks: a decoding sequence that is not busy,
+// or a mid-prefill sequence with no chunk in flight. It returns nil when r
+// is the youngest holder (or no holder is evictable).
+func (p *Pool) youngestHolderYoungerThan(r *request.Request) *request.Request {
+	var best *request.Request
+	consider := func(c *request.Request) {
+		if c == r || !younger(c, r) {
+			return
+		}
+		if p.KV.TokensOf(kvcache.SeqID(c.ID)) == 0 {
+			return
+		}
+		switch c.State() {
+		case request.StateDecoding:
+			if c.DecodeBusy() {
+				return
+			}
+		case request.StatePrefilling:
+			if c.InFlightPrefill() > 0 {
+				return
+			}
+		default:
+			return
+		}
+		if best == nil || younger(c, best) {
+			best = c
+		}
+	}
+	for _, c := range p.decoding {
+		consider(c)
+	}
+	for _, c := range p.prefillQ {
+		consider(c)
+	}
+	return best
+}
+
+// evict removes a victim's KV residency. Decoding victims are preempted to
+// the front of the prefill queue for full recompute (vLLM recompute
+// semantics); mid-prefill victims restart their prefill from zero in place.
+func (p *Pool) evict(r *request.Request) {
+	switch r.State() {
+	case request.StateDecoding:
+		p.preempt(r)
+	case request.StatePrefilling:
+		p.KV.Free(kvcache.SeqID(r.ID))
+		r.ResetPrefill()
+		p.preemptions++
+	default:
+		panic(fmt.Sprintf("sched: evicting %v in state %s", r, r.State()))
+	}
+}
+
+// preempt evicts a decoding sequence: its KV is freed and it rejoins the
+// FRONT of the prefill queue for full recompute (vLLM recompute semantics).
+func (p *Pool) preempt(r *request.Request) {
+	p.KV.Free(kvcache.SeqID(r.ID))
+	r.Preempt()
+	p.removeDecoding(r)
+	p.prefillQ = append([]*request.Request{r}, p.prefillQ...)
+	p.preemptions++
+}
+
+func (p *Pool) removeDecoding(r *request.Request) {
+	for i, x := range p.decoding {
+		if x == r {
+			p.decoding = append(p.decoding[:i], p.decoding[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: %v not in decoding set", r))
+}
+
+func (p *Pool) removePrefill(r *request.Request) {
+	for i, x := range p.prefillQ {
+		if x == r {
+			p.prefillQ = append(p.prefillQ[:i], p.prefillQ[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: %v not in prefill queue", r))
+}
+
+// Complete commits a finished micro-batch at virtual time now: chunks are
+// committed (possibly transitioning requests to decode or finishing
+// single-token outputs), decode steps emit their tokens, and finished
+// requests release their KV. It returns the requests that finished in this
+// batch, in batch order.
+func (p *Pool) Complete(b *Batch, now time.Duration) []*request.Request {
+	var finished []*request.Request
+	for _, c := range b.Chunks {
+		c.Req.CompleteChunk(now)
+		switch c.Req.State() {
+		case request.StateDecoding:
+			p.registerPrefix(c.Req)
+			p.removePrefill(c.Req)
+			p.decoding = append(p.decoding, c.Req)
+		case request.StateFinished:
+			p.registerPrefix(c.Req)
+			p.removePrefill(c.Req)
+			p.KV.Free(kvcache.SeqID(c.Req.ID))
+			finished = append(finished, c.Req)
+		}
+	}
+	for _, r := range b.Decodes {
+		if r.CompleteDecode(now) {
+			p.registerPrefix(r)
+			p.removeDecoding(r)
+			p.KV.Free(kvcache.SeqID(r.ID))
+			finished = append(finished, r)
+		}
+	}
+	return finished
+}
+
+// ReleaseDecoding removes a decoding request from this pool WITHOUT
+// freeing its KV or touching its state — the caller is migrating it to
+// another replica (prefill/decode disaggregation). The caller must free
+// this pool's KV for the sequence separately once its transfer completes.
+func (p *Pool) ReleaseDecoding(r *request.Request) {
+	if r.State() != request.StateDecoding || r.DecodeBusy() {
+		panic(fmt.Sprintf("sched: releasing %v in state %s busy %v", r, r.State(), r.DecodeBusy()))
+	}
+	p.removeDecoding(r)
+}
+
+// AdoptDecoding admits a decoding request migrated from another replica.
+// Its context KV must already be allocated in THIS pool's cache by the
+// caller (the transfer destination).
+func (p *Pool) AdoptDecoding(r *request.Request) {
+	if r.State() != request.StateDecoding || r.DecodeBusy() {
+		panic(fmt.Sprintf("sched: adopting %v in state %s busy %v", r, r.State(), r.DecodeBusy()))
+	}
+	if p.KV.TokensOf(kvcache.SeqID(r.ID)) == 0 {
+		panic(fmt.Sprintf("sched: adopting %v without KV residency", r))
+	}
+	p.decoding = append(p.decoding, r)
+}
+
+// registerPrefix publishes a request's computed KV (all resident full
+// blocks: prompt, and generated tokens at completion) into its group's
+// prefix cache — a conversation's next turn shares exactly that stream.
+// No-op unless enabled and declared.
+func (p *Pool) registerPrefix(r *request.Request) {
+	if !p.EnablePrefixCache || r.PrefixGroup == 0 {
+		return
+	}
+	id := kvcache.SeqID(r.ID)
+	p.KV.RegisterPrefix(id, r.PrefixGroup, p.KV.TokensOf(id))
+}
+
+// Chunk is one scheduled prefill chunk.
+type Chunk struct {
+	Req      *request.Request
+	Tokens   int
+	CtxStart int // context offset of the chunk's first token
+}
+
+// Batch is one scheduled micro-batch.
+type Batch struct {
+	Chunks  []Chunk
+	Decodes []*request.Request
+}
+
+// Empty reports whether the batch holds no work.
+func (b *Batch) Empty() bool { return len(b.Chunks) == 0 && len(b.Decodes) == 0 }
+
+// PrefillTokens returns the batched prefill token count.
+func (b *Batch) PrefillTokens() int {
+	n := 0
+	for _, c := range b.Chunks {
+		n += c.Tokens
+	}
+	return n
+}
+
+// DecodeTokens returns the batched decode token count.
+func (b *Batch) DecodeTokens() int { return len(b.Decodes) }
+
+// Tokens returns the total batched token count.
+func (b *Batch) Tokens() int { return b.PrefillTokens() + b.DecodeTokens() }
+
+// Shape converts the batch into the cost model's aggregate description.
+func (b *Batch) Shape() gpu.BatchShape {
+	var s gpu.BatchShape
+	for _, c := range b.Chunks {
+		s.PrefillTokens += c.Tokens
+		s.PrefillCtxSum += gpu.PrefillChunkCtxSum(c.CtxStart, c.Tokens)
+	}
+	for _, r := range b.Decodes {
+		s.DecodeTokens++
+		s.DecodeCtxSum += float64(r.ContextLen())
+	}
+	return s
+}
+
+// Scheduler assembles the next micro-batch from the pool.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Schedule builds (and reserves resources for) the next micro-batch.
+	// It may return an empty batch when nothing can run.
+	Schedule(p *Pool, now time.Duration) *Batch
+}

@@ -1,0 +1,229 @@
+// Package server exposes a gLLM runtime over an OpenAI-compatible REST API
+// (the paper's frontend, §3.4): POST /v1/completions with optional SSE
+// streaming, GET /v1/models, plus health and metrics endpoints for the
+// benchmark harness.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"gllm/internal/runtime"
+)
+
+// Server adapts a runtime to HTTP.
+type Server struct {
+	rt        *runtime.Runtime
+	modelName string
+	mux       *http.ServeMux
+	started   time.Time
+}
+
+// New builds the HTTP handler for a runtime serving the named model.
+func New(rt *runtime.Runtime, modelName string) *Server {
+	if rt == nil {
+		panic("server: nil runtime")
+	}
+	s := &Server{rt: rt, modelName: modelName, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/v1/completions", s.handleCompletions)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// completionRequest is the accepted subset of the OpenAI completions API.
+type completionRequest struct {
+	Model     string `json:"model"`
+	Prompt    string `json:"prompt"`
+	PromptLen int    `json:"prompt_len,omitempty"` // benchmark extension: synthetic prompt length
+	MaxTokens int    `json:"max_tokens"`
+	Stream    bool   `json:"stream"`
+}
+
+type completionChoice struct {
+	Text         string `json:"text"`
+	Index        int    `json:"index"`
+	FinishReason string `json:"finish_reason,omitempty"`
+}
+
+type completionUsage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+type completionResponse struct {
+	ID      string             `json:"id"`
+	Object  string             `json:"object"`
+	Created int64              `json:"created"`
+	Model   string             `json:"model"`
+	Choices []completionChoice `json:"choices"`
+	Usage   *completionUsage   `json:"usage,omitempty"`
+}
+
+type apiError struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	var e apiError
+	e.Error.Message = msg
+	e.Error.Type = "invalid_request_error"
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req completionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err))
+		return
+	}
+	if req.MaxTokens <= 0 {
+		req.MaxTokens = 16 // OpenAI default
+	}
+	promptLen := req.PromptLen
+	if promptLen <= 0 {
+		promptLen = runtime.TokenizeLen(req.Prompt)
+	}
+	h, err := s.rt.Submit(promptLen, req.MaxTokens)
+	if err != nil {
+		if err == runtime.ErrStopped {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := fmt.Sprintf("cmpl-%d", h.ID)
+	if req.Stream {
+		s.streamCompletion(w, r, id, h)
+		return
+	}
+	var text strings.Builder
+	count := 0
+	for ev := range h.Events {
+		text.WriteString(ev.Text)
+		count++
+	}
+	resp := completionResponse{
+		ID:      id,
+		Object:  "text_completion",
+		Created: time.Now().Unix(),
+		Model:   s.modelName,
+		Choices: []completionChoice{{Text: strings.TrimSpace(text.String()), FinishReason: "length"}},
+		Usage: &completionUsage{
+			PromptTokens:     promptLen,
+			CompletionTokens: count,
+			TotalTokens:      promptLen + count,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// streamCompletion renders tokens as OpenAI-style server-sent events.
+func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id string, h *runtime.Handle) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-h.Events:
+			if !open {
+				fmt.Fprint(w, "data: [DONE]\n\n")
+				flusher.Flush()
+				return
+			}
+			finish := ""
+			if ev.Finished {
+				finish = "length"
+			}
+			chunk := completionResponse{
+				ID:      id,
+				Object:  "text_completion",
+				Created: time.Now().Unix(),
+				Model:   s.modelName,
+				Choices: []completionChoice{{Text: ev.Text, FinishReason: finish}},
+			}
+			fmt.Fprint(w, "data: ")
+			_ = enc.Encode(chunk) // Encode appends the newline
+			fmt.Fprint(w, "\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			// Client went away: drain in background so the driver's buffer
+			// accounting is unaffected (events are buffered anyway).
+			go func() {
+				for range h.Events {
+				}
+			}()
+			return
+		}
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := map[string]interface{}{
+		"object": "list",
+		"data": []map[string]interface{}{
+			{"id": s.modelName, "object": "model", "owned_by": "gllm"},
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.rt.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rep := s.rt.Report()
+	st := s.rt.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "gllm_requests_finished %d\n", rep.Requests)
+	fmt.Fprintf(w, "gllm_ttft_mean_seconds %g\n", rep.TTFT.Mean)
+	fmt.Fprintf(w, "gllm_tpot_mean_seconds %g\n", rep.TPOT.Mean)
+	fmt.Fprintf(w, "gllm_e2el_mean_seconds %g\n", rep.E2E.Mean)
+	fmt.Fprintf(w, "gllm_token_throughput %g\n", rep.TokenThroughput)
+	fmt.Fprintf(w, "gllm_kv_free_rate %g\n", st.KVFreeRate)
+	fmt.Fprintf(w, "gllm_running_decode %d\n", st.RunningDecode)
+	fmt.Fprintf(w, "gllm_waiting_prefill_tokens %d\n", st.WaitingPrefill)
+	fmt.Fprintf(w, "gllm_iterations %d\n", st.Iterations)
+	fmt.Fprintf(w, "gllm_preemptions %d\n", st.Preemptions)
+	fmt.Fprintf(w, "gllm_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/runtime"
+	"gllm/internal/sched"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *runtime.Runtime) {
+	t.Helper()
+	rt, err := runtime.Start(runtime.Config{
+		Model:     model.Qwen25_14B,
+		GPU:       gpu.L20,
+		Topo:      network.IntraNode(4, network.PCIe),
+		Scheduler: sched.NewDefaultThrottle(),
+		Async:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(rt, "Qwen2.5-14B"))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	})
+	return ts, rt
+}
+
+func post(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestCompletionNonStreaming(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"model":      "Qwen2.5-14B",
+		"prompt":     "hello world this is a test",
+		"max_tokens": 8,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	var out struct {
+		ID      string `json:"id"`
+		Object  string `json:"object"`
+		Choices []struct {
+			Text         string `json:"text"`
+			FinishReason string `json:"finish_reason"`
+		} `json:"choices"`
+		Usage struct {
+			PromptTokens     int `json:"prompt_tokens"`
+			CompletionTokens int `json:"completion_tokens"`
+			TotalTokens      int `json:"total_tokens"`
+		} `json:"usage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Object != "text_completion" {
+		t.Fatalf("object = %q", out.Object)
+	}
+	if len(out.Choices) != 1 || out.Choices[0].Text == "" {
+		t.Fatalf("choices = %+v", out.Choices)
+	}
+	if out.Choices[0].FinishReason != "length" {
+		t.Fatalf("finish_reason = %q", out.Choices[0].FinishReason)
+	}
+	if out.Usage.PromptTokens != 6 || out.Usage.CompletionTokens != 8 || out.Usage.TotalTokens != 14 {
+		t.Fatalf("usage = %+v", out.Usage)
+	}
+}
+
+func TestCompletionStreaming(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt":     "stream me",
+		"max_tokens": 5,
+		"stream":     true,
+	})
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type = %q", ct)
+	}
+	chunks := 0
+	sawDone := false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		if payload == "[DONE]" {
+			sawDone = true
+			break
+		}
+		var chunk struct {
+			Choices []struct {
+				Text string `json:"text"`
+			} `json:"choices"`
+		}
+		if err := json.Unmarshal([]byte(payload), &chunk); err != nil {
+			t.Fatalf("bad chunk %q: %v", payload, err)
+		}
+		chunks++
+	}
+	if chunks != 5 {
+		t.Fatalf("chunks = %d, want 5", chunks)
+	}
+	if !sawDone {
+		t.Fatal("no [DONE] sentinel")
+	}
+}
+
+func TestSyntheticPromptLen(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt_len": 500,
+		"max_tokens": 2,
+	})
+	defer resp.Body.Close()
+	var out struct {
+		Usage struct {
+			PromptTokens int `json:"prompt_tokens"`
+		} `json:"usage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Usage.PromptTokens != 500 {
+		t.Fatalf("prompt tokens = %d", out.Usage.PromptTokens)
+	}
+}
+
+func TestDefaultMaxTokens(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{"prompt": "x"})
+	defer resp.Body.Close()
+	var out struct {
+		Usage struct {
+			CompletionTokens int `json:"completion_tokens"`
+		} `json:"usage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Usage.CompletionTokens != 16 {
+		t.Fatalf("default max_tokens gave %d completion tokens", out.Usage.CompletionTokens)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := testServer(t)
+	// Invalid JSON.
+	resp, err := http.Post(ts.URL+"/v1/completions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json status = %s", resp.Status)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/completions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %s", resp.Status)
+	}
+	// Oversized request.
+	resp = post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt_len": 100_000_000,
+		"max_tokens": 5,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized status = %s", resp.Status)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Data []struct {
+			ID string `json:"id"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Data) != 1 || out.Data[0].ID != "Qwen2.5-14B" {
+		t.Fatalf("models = %+v", out.Data)
+	}
+}
+
+func TestHealthAndStatsAndMetrics(t *testing.T) {
+	ts, _ := testServer(t)
+	// Serve one request so metrics are non-trivial.
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{"prompt": "x", "max_tokens": 3})
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health = %s", resp.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st runtime.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		body.WriteString(scanner.Text())
+		body.WriteString("\n")
+	}
+	resp.Body.Close()
+	for _, metric := range []string{"gllm_requests_finished", "gllm_token_throughput", "gllm_kv_free_rate"} {
+		if !strings.Contains(body.String(), metric) {
+			t.Fatalf("metrics missing %s:\n%s", metric, body.String())
+		}
+	}
+}
+
+func TestClientDisconnectMidStream(t *testing.T) {
+	ts, rt := testServer(t)
+	// Open a streaming request and abandon it after the first chunk.
+	body := `{"prompt_len": 64, "max_tokens": 1000, "stream": true}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/completions", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	ctx, cancel := context.WithCancel(context.Background())
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line then cut the connection.
+	buf := make([]byte, 256)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The runtime must keep functioning: a fresh request still completes.
+	resp2 := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt": "still alive", "max_tokens": 3,
+	})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request status = %s", resp2.Status)
+	}
+	// Eventually all generation (including the abandoned request's)
+	// finishes server-side.
+	deadline := time.After(10 * time.Second)
+	for {
+		if st := rt.Stats(); st.Finished >= 2 && st.InFlight == 0 && st.RunningDecode == 0 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("abandoned request never drained: %+v", rt.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestConcurrentHTTPLoad(t *testing.T) {
+	ts, _ := testServer(t)
+	const n = 24
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(k int) {
+			resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"prompt_len": %d, "max_tokens": %d}`, 50+k, 2+k%5)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %s", resp.Status)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

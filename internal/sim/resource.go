@@ -1,0 +1,91 @@
+package sim
+
+import "time"
+
+// Resource is a single-server FIFO queue living inside an Engine: at most
+// one job is in service at a time and waiting jobs are served in submission
+// order. It models exclusive devices such as a GPU pipeline stage or a
+// network link, and tracks cumulative busy time for utilization accounting.
+type Resource struct {
+	eng       *Engine
+	name      string
+	busy      bool
+	queue     []job
+	busySince time.Duration
+	totalBusy time.Duration
+	served    int
+}
+
+type job struct {
+	dur  time.Duration
+	done func()
+}
+
+// NewResource creates a resource bound to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether a job is currently in service.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of jobs waiting (excluding the one in service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Served returns the number of completed jobs.
+func (r *Resource) Served() int { return r.served }
+
+// Submit enqueues a job requiring dur of service; done (may be nil) runs at
+// completion. Zero-duration jobs are legal and complete via a zero-delay
+// event, preserving event ordering.
+func (r *Resource) Submit(dur time.Duration, done func()) {
+	if dur < 0 {
+		panic("sim: Submit with negative duration")
+	}
+	j := job{dur: dur, done: done}
+	if r.busy {
+		r.queue = append(r.queue, j)
+		return
+	}
+	r.start(j)
+}
+
+func (r *Resource) start(j job) {
+	r.busy = true
+	r.busySince = r.eng.Now()
+	r.eng.After(j.dur, func() {
+		r.totalBusy += r.eng.Now() - r.busySince
+		r.busy = false
+		r.served++
+		if j.done != nil {
+			j.done()
+		}
+		if len(r.queue) > 0 && !r.busy {
+			next := r.queue[0]
+			r.queue = r.queue[1:]
+			r.start(next)
+		}
+	})
+}
+
+// BusyTime returns the cumulative time spent in service, including the
+// in-progress portion of the current job.
+func (r *Resource) BusyTime() time.Duration {
+	t := r.totalBusy
+	if r.busy {
+		t += r.eng.Now() - r.busySince
+	}
+	return t
+}
+
+// Utilization returns BusyTime divided by total elapsed virtual time,
+// or 0 at time zero.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(r.eng.Now())
+}

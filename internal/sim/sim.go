@@ -1,0 +1,110 @@
+// Package sim implements the deterministic discrete-event simulation kernel
+// that drives all virtual-time experiments. Events are executed in
+// (timestamp, insertion-order) order, so identical inputs always produce
+// identical executions.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a discrete-event simulator with a virtual clock.
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// the simulation model is single-threaded by design.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	ran    uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the total number of events run so far.
+func (e *Engine) Executed() uint64 { return e.ran }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a model bug.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. A negative d
+// panics.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: After with negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (even if idle). Events scheduled during execution are
+// honored if they fall inside the window.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := New()
+	var at time.Duration
+	e.After(time.Second, func() {
+		e.After(2*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3*time.Second {
+		t.Fatalf("nested After fired at %v", at)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := New()
+	e.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(time.Second, func() { fired++ })
+	e.At(3*time.Second, func() { fired++ })
+	e.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s (idle advance)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 3*time.Second {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestRunForAndCounters(t *testing.T) {
+	e := New()
+	e.After(time.Second, func() {})
+	e.RunFor(500 * time.Millisecond)
+	if e.Executed() != 0 {
+		t.Fatalf("executed = %d", e.Executed())
+	}
+	e.RunFor(time.Second)
+	if e.Executed() != 1 {
+		t.Fatalf("executed = %d", e.Executed())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty returned true")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			e.After(time.Millisecond, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("chain count = %d", count)
+	}
+}
+
+func TestQuickEventTimesNonDecreasing(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var last time.Duration
+		ok := true
+		for _, d := range delays {
+			e.At(time.Duration(d)*time.Millisecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceFIFOService(t *testing.T) {
+	e := New()
+	r := NewResource(e, "gpu0")
+	var done []int
+	r.Submit(10*time.Millisecond, func() { done = append(done, 1) })
+	r.Submit(5*time.Millisecond, func() { done = append(done, 2) })
+	r.Submit(1*time.Millisecond, func() { done = append(done, 3) })
+	if r.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", r.QueueLen())
+	}
+	e.Run()
+	if len(done) != 3 || done[0] != 1 || done[1] != 2 || done[2] != 3 {
+		t.Fatalf("completion order = %v", done)
+	}
+	if e.Now() != 16*time.Millisecond {
+		t.Fatalf("makespan = %v, want 16ms", e.Now())
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served = %d", r.Served())
+	}
+}
+
+func TestResourceBusyTime(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x")
+	r.Submit(10*time.Millisecond, nil)
+	e.After(20*time.Millisecond, func() {
+		r.Submit(10*time.Millisecond, nil)
+	})
+	e.Run()
+	if r.BusyTime() != 20*time.Millisecond {
+		t.Fatalf("busy = %v", r.BusyTime())
+	}
+	if u := r.Utilization(); u <= 0.65 || u >= 0.68 {
+		t.Fatalf("utilization = %v, want ~2/3", u)
+	}
+}
+
+func TestResourceMidJobBusyTime(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x")
+	r.Submit(10*time.Millisecond, nil)
+	e.RunUntil(4 * time.Millisecond)
+	if r.BusyTime() != 4*time.Millisecond {
+		t.Fatalf("mid-job busy = %v", r.BusyTime())
+	}
+	if !r.Busy() {
+		t.Fatal("resource should be busy")
+	}
+}
+
+func TestResourceZeroDurationJob(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x")
+	ran := false
+	r.Submit(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-duration job did not complete")
+	}
+}
+
+func TestResourceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Submit did not panic")
+		}
+	}()
+	NewResource(New(), "x").Submit(-1, nil)
+}
+
+func TestResourceUtilizationAtTimeZero(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x")
+	if r.Utilization() != 0 {
+		t.Fatal("utilization at t=0 should be 0")
+	}
+}
+
+func TestResourceSubmitFromCompletion(t *testing.T) {
+	e := New()
+	r := NewResource(e, "x")
+	count := 0
+	var resubmit func()
+	resubmit = func() {
+		count++
+		if count < 3 {
+			r.Submit(time.Millisecond, resubmit)
+		}
+	}
+	r.Submit(time.Millisecond, resubmit)
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("now = %v", e.Now())
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics for a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Sorted []float64 // ascending copy of the sample; nil when Count == 0
+}
+
+// Summarize computes descriptive statistics of xs. The input is not
+// modified. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical noise
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    Percentile(sorted, 0.50),
+		P90:    Percentile(sorted, 0.90),
+		P95:    Percentile(sorted, 0.95),
+		P99:    Percentile(sorted, 0.99),
+		Sorted: sorted,
+	}
+}
+
+// CV returns the coefficient of variation (std/mean), or 0 for a zero mean.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// String renders the summary compactly for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f p50=%.3f p99=%.3f max=%.3f",
+		s.Count, s.Mean, s.Std, s.P50, s.P99, s.Max)
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted
+// slice using linear interpolation. It panics on an empty slice or a p
+// outside [0,1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic("stats: Percentile p out of [0,1]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	return Summarize(xs).Std
+}

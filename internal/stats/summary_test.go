@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Sorted != nil {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	wantStd := math.Sqrt(2)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("P50 of {0,10} = %v, want 5", got)
+	}
+	if got := Percentile(sorted, 0); got != 0 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(sorted, 1); got != 10 {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Fatalf("Percentile singleton = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Percentile(nil, 0.5) }},
+		{"below", func() { Percentile([]float64{1}, -0.1) }},
+		{"above", func() { Percentile([]float64{1}, 1.1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestCV(t *testing.T) {
+	s := Summarize([]float64{2, 2, 2, 2})
+	if s.CV() != 0 {
+		t.Fatalf("CV of constant sample = %v", s.CV())
+	}
+	if (Summary{}).CV() != 0 {
+		t.Fatal("CV of empty summary should be 0")
+	}
+}
+
+func TestMeanStdHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Std([]float64{1, 1}); got != 0 {
+		t.Fatalf("Std of constants = %v", got)
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Count != len(xs) {
+			return false
+		}
+		if s.Min > s.P50 || s.P50 > s.Max {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Std < 0 {
+			return false
+		}
+		if !sort.Float64sAreSorted(s.Sorted) {
+			return false
+		}
+		// Percentiles are monotone.
+		return s.P50 <= s.P90+1e-9 && s.P90 <= s.P95+1e-9 && s.P95 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

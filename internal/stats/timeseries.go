@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Point is one (time, value) observation.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries accumulates timestamped observations (e.g. per-iteration
+// batched token counts or per-window GPU utilization).
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{Name: name}
+}
+
+// Record appends an observation. Timestamps are expected to be
+// non-decreasing; Record does not enforce this.
+func (ts *TimeSeries) Record(t time.Duration, v float64) {
+	ts.Points = append(ts.Points, Point{T: t, V: v})
+}
+
+// Values returns the raw observation values in recording order.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.Points))
+	for i, p := range ts.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Summary summarizes the observation values.
+func (ts *TimeSeries) Summary() Summary { return Summarize(ts.Values()) }
+
+// Resample buckets the series into fixed windows of width w starting at 0
+// and returns the mean value per window. Empty windows yield 0.
+func (ts *TimeSeries) Resample(w time.Duration) []float64 {
+	if w <= 0 || len(ts.Points) == 0 {
+		return nil
+	}
+	last := ts.Points[len(ts.Points)-1].T
+	n := int(last/w) + 1
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, p := range ts.Points {
+		i := int(p.T / w)
+		if i >= n {
+			i = n - 1
+		}
+		sums[i] += p.V
+		counts[i]++
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// CSV renders the series as "seconds,value" rows with a header.
+func (ts *TimeSeries) CSV() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seconds,%s\n", ts.Name)
+	for _, p := range ts.Points {
+		fmt.Fprintf(&sb, "%.6f,%g\n", p.T.Seconds(), p.V)
+	}
+	return sb.String()
+}

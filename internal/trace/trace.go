@@ -1,0 +1,132 @@
+// Package trace records per-stage execution timelines of a pipeline run:
+// which micro-batch occupied which stage when. It computes bubble (idle)
+// fractions — the quantity the gLLM paper optimizes — and exports Chrome
+// trace JSON (chrome://tracing / Perfetto) for visual inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span is one stage occupancy interval.
+type Span struct {
+	Stage  int
+	Label  string
+	Start  time.Duration
+	End    time.Duration
+	Tokens int
+}
+
+// Trace accumulates spans for a fixed number of pipeline stages.
+type Trace struct {
+	stages int
+	spans  []Span
+}
+
+// New creates a trace for the given stage count.
+func New(stages int) *Trace {
+	if stages < 1 {
+		panic(fmt.Sprintf("trace: stage count %d", stages))
+	}
+	return &Trace{stages: stages}
+}
+
+// Stages returns the stage count.
+func (t *Trace) Stages() int { return t.stages }
+
+// Add records a span. End must not precede start and the stage must exist.
+func (t *Trace) Add(stage int, label string, start, end time.Duration, tokens int) {
+	if stage < 0 || stage >= t.stages {
+		panic(fmt.Sprintf("trace: stage %d out of %d", stage, t.stages))
+	}
+	if end < start {
+		panic(fmt.Sprintf("trace: span ends %v before start %v", end, start))
+	}
+	t.spans = append(t.spans, Span{Stage: stage, Label: label, Start: start, End: end, Tokens: tokens})
+}
+
+// Spans returns the recorded spans (shared slice; treat as read-only).
+func (t *Trace) Spans() []Span { return t.spans }
+
+// Len returns the number of spans.
+func (t *Trace) Len() int { return len(t.spans) }
+
+// Window returns the first span start and last span end (zeroes when empty).
+func (t *Trace) Window() (start, end time.Duration) {
+	if len(t.spans) == 0 {
+		return 0, 0
+	}
+	start = t.spans[0].Start
+	end = t.spans[0].End
+	for _, s := range t.spans[1:] {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return start, end
+}
+
+// StageBusy returns the total busy time of one stage.
+func (t *Trace) StageBusy(stage int) time.Duration {
+	var busy time.Duration
+	for _, s := range t.spans {
+		if s.Stage == stage {
+			busy += s.End - s.Start
+		}
+	}
+	return busy
+}
+
+// BubbleFraction returns the fraction of stage-time idle inside the trace
+// window: 1 − Σ busy / (stages × window). An empty trace reports 0.
+func (t *Trace) BubbleFraction() float64 {
+	start, end := t.Window()
+	window := end - start
+	if window <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for s := 0; s < t.stages; s++ {
+		busy += t.StageBusy(s)
+	}
+	return 1 - float64(busy)/float64(window*time.Duration(t.stages))
+}
+
+// chromeEvent is one Chrome-trace "complete" event.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`  // microseconds
+	Dur  float64                `json:"dur"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome renders the trace in Chrome trace-event JSON (array format),
+// one thread per pipeline stage, sorted by start time.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := make([]chromeEvent, len(t.spans))
+	ordered := append([]Span(nil), t.spans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	for i, s := range ordered {
+		events[i] = chromeEvent{
+			Name: s.Label,
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.End-s.Start) / float64(time.Microsecond),
+			Pid:  0,
+			Tid:  s.Stage,
+			Args: map[string]interface{}{"tokens": s.Tokens},
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

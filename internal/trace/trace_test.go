@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestAddAndWindow(t *testing.T) {
+	tr := New(2)
+	tr.Add(0, "mb0", time.Second, 2*time.Second, 100)
+	tr.Add(1, "mb0", 2*time.Second, 3*time.Second, 100)
+	start, end := tr.Window()
+	if start != time.Second || end != 3*time.Second {
+		t.Fatalf("window = %v..%v", start, end)
+	}
+	if tr.Len() != 2 || tr.Stages() != 2 {
+		t.Fatalf("len/stages = %d/%d", tr.Len(), tr.Stages())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New(4)
+	if s, e := tr.Window(); s != 0 || e != 0 {
+		t.Fatal("empty window not zero")
+	}
+	if tr.BubbleFraction() != 0 {
+		t.Fatal("empty bubble fraction not zero")
+	}
+}
+
+func TestStageBusy(t *testing.T) {
+	tr := New(2)
+	tr.Add(0, "a", 0, time.Second, 10)
+	tr.Add(0, "b", 2*time.Second, 3*time.Second, 10)
+	tr.Add(1, "a", time.Second, 2*time.Second, 10)
+	if got := tr.StageBusy(0); got != 2*time.Second {
+		t.Fatalf("stage0 busy = %v", got)
+	}
+	if got := tr.StageBusy(1); got != time.Second {
+		t.Fatalf("stage1 busy = %v", got)
+	}
+}
+
+func TestBubbleFraction(t *testing.T) {
+	// Window 0..2s, 2 stages => 4s stage-time. Busy: 2s => bubble 0.5.
+	tr := New(2)
+	tr.Add(0, "a", 0, time.Second, 1)
+	tr.Add(1, "a", time.Second, 2*time.Second, 1)
+	if got := tr.BubbleFraction(); got != 0.5 {
+		t.Fatalf("bubble = %v", got)
+	}
+}
+
+func TestPerfectPipelineHasNoBubbles(t *testing.T) {
+	tr := New(2)
+	// Both stages busy for the whole window.
+	tr.Add(0, "a", 0, time.Second, 1)
+	tr.Add(0, "b", time.Second, 2*time.Second, 1)
+	tr.Add(1, "a", 0, time.Second, 1)
+	tr.Add(1, "b", time.Second, 2*time.Second, 1)
+	if got := tr.BubbleFraction(); got != 0 {
+		t.Fatalf("bubble = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0) },
+		func() { New(2).Add(2, "x", 0, 1, 0) },
+		func() { New(2).Add(-1, "x", 0, 1, 0) },
+		func() { New(2).Add(0, "x", time.Second, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New(2)
+	tr.Add(1, "mb3", 1500*time.Microsecond, 2500*time.Microsecond, 128)
+	tr.Add(0, "mb3", 500*time.Microsecond, 1500*time.Microsecond, 128)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output not valid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Sorted by start: stage 0's span first.
+	if events[0]["tid"].(float64) != 0 {
+		t.Fatalf("first event tid = %v", events[0]["tid"])
+	}
+	if events[0]["ts"].(float64) != 500 {
+		t.Fatalf("ts = %v us", events[0]["ts"])
+	}
+	if events[0]["dur"].(float64) != 1000 {
+		t.Fatalf("dur = %v us", events[0]["dur"])
+	}
+	if events[0]["ph"].(string) != "X" {
+		t.Fatalf("ph = %v", events[0]["ph"])
+	}
+}

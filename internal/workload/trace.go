@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LoadAzureCSV parses the AzurePublicDataset LLM inference trace format
+// used by the paper ("TIMESTAMP,ContextTokens,GeneratedTokens", timestamps
+// in seconds relative or absolute — they are re-based to the first row).
+// Rows with non-positive token counts are skipped, matching the paper's
+// sampling of usable requests.
+func LoadAzureCSV(r io.Reader) ([]Item, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: parse azure csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty azure csv")
+	}
+	start := 0
+	if looksLikeHeader(records[0]) {
+		start = 1
+	}
+	var items []Item
+	base := -1.0
+	for i := start; i < len(records); i++ {
+		rec := records[i]
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("workload: azure csv row %d has %d fields", i, len(rec))
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure csv row %d timestamp: %w", i, err)
+		}
+		in, err := strconv.Atoi(strings.TrimSpace(rec[1]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure csv row %d context tokens: %w", i, err)
+		}
+		out, err := strconv.Atoi(strings.TrimSpace(rec[2]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure csv row %d generated tokens: %w", i, err)
+		}
+		if in <= 0 || out <= 0 {
+			continue
+		}
+		if base < 0 {
+			base = ts
+		}
+		items = append(items, Item{
+			Arrival:   time.Duration((ts - base) * float64(time.Second)),
+			PromptLen: in,
+			OutputLen: out,
+		})
+	}
+	Sort(items)
+	return items, nil
+}
+
+func looksLikeHeader(rec []string) bool {
+	if len(rec) == 0 {
+		return false
+	}
+	_, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+	return err != nil
+}
+
+// jsonItem is the on-disk JSON trace schema (arrival in seconds).
+type jsonItem struct {
+	ArrivalSec float64 `json:"arrival_sec"`
+	PromptLen  int     `json:"prompt_len"`
+	OutputLen  int     `json:"output_len"`
+}
+
+// LoadJSON parses a JSON array of {arrival_sec, prompt_len, output_len}.
+func LoadJSON(r io.Reader) ([]Item, error) {
+	var raw []jsonItem
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: parse json trace: %w", err)
+	}
+	items := make([]Item, 0, len(raw))
+	for i, j := range raw {
+		if j.PromptLen <= 0 || j.OutputLen <= 0 {
+			return nil, fmt.Errorf("workload: json trace item %d has lengths %d/%d", i, j.PromptLen, j.OutputLen)
+		}
+		items = append(items, Item{
+			Arrival:   time.Duration(j.ArrivalSec * float64(time.Second)),
+			PromptLen: j.PromptLen,
+			OutputLen: j.OutputLen,
+		})
+	}
+	Sort(items)
+	return items, nil
+}
+
+// WriteJSON renders a trace in the LoadJSON schema.
+func WriteJSON(w io.Writer, items []Item) error {
+	raw := make([]jsonItem, len(items))
+	for i, it := range items {
+		raw[i] = jsonItem{
+			ArrivalSec: it.Arrival.Seconds(),
+			PromptLen:  it.PromptLen,
+			OutputLen:  it.OutputLen,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(raw)
+}
