@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -35,10 +36,12 @@ func main() {
 		seed        = flag.Uint64("seed", 20250704, "workload seed")
 		speedup     = flag.Float64("speedup", 1, "replay speedup factor")
 		goodput     = flag.String("goodput", "", `SLO spec like "ttft:2000 tpot:100" (milliseconds)`)
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"cap on concurrent in-flight requests (0 = unlimited; arrivals stay open-loop)")
 	)
 	flag.Parse()
 	if err := run(*host, *port, *modelName, *datasetName, *datasetPath, *azureCSV,
-		*rate, *duration, *numPrompts, *seed, *speedup, *goodput); err != nil {
+		*rate, *duration, *numPrompts, *seed, *speedup, *goodput, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-bench:", err)
 		os.Exit(1)
 	}
@@ -46,7 +49,7 @@ func main() {
 
 func run(host string, port int, modelName, datasetName, datasetPath, azureCSV string,
 	rate float64, duration time.Duration, numPrompts int, seed uint64,
-	speedup float64, goodput string) error {
+	speedup float64, goodput string, parallel int) error {
 
 	var items []workload.Item
 	switch {
@@ -93,6 +96,7 @@ func run(host string, port int, modelName, datasetName, datasetPath, azureCSV st
 		Items:              items,
 		SpeedUp:            speedup,
 		UseSyntheticPrompt: true,
+		MaxInFlight:        parallel,
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,18 +24,20 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids (fig1..fig16, table1) or all")
-		scale = flag.String("scale", "quick", "quick (16 s window) or paper (128 s window)")
-		out   = flag.String("out", "", "directory for CSV/series output (optional)")
+		run      = flag.String("run", "all", "comma-separated experiment ids (fig1..fig16, table1) or all")
+		scale    = flag.String("scale", "quick", "quick (16 s window) or paper (128 s window)")
+		out      = flag.String("out", "", "directory for CSV/series output (optional)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker goroutines per experiment grid (1 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
-	if err := mainErr(*run, *scale, *out); err != nil {
+	if err := mainErr(*run, *scale, *out, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(run, scaleName, out string) error {
+func mainErr(run, scaleName, out string, parallel int) error {
 	var sc experiments.Scale
 	switch scaleName {
 	case "quick":
@@ -44,6 +47,7 @@ func mainErr(run, scaleName, out string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", scaleName)
 	}
+	sc.Workers = parallel
 	if out != "" {
 		if err := os.MkdirAll(out, 0o755); err != nil {
 			return err

@@ -8,7 +8,7 @@ import (
 
 func TestMainErrQuickSubset(t *testing.T) {
 	dir := t.TempDir()
-	if err := mainErr("fig1,fig11,table1", "quick", dir); err != nil {
+	if err := mainErr("fig1,fig11,table1", "quick", dir, 2); err != nil {
 		t.Fatal(err)
 	}
 	// fig1 writes its token CSV when -out is set.
@@ -18,10 +18,10 @@ func TestMainErrQuickSubset(t *testing.T) {
 }
 
 func TestMainErrErrors(t *testing.T) {
-	if err := mainErr("fig99", "quick", ""); err == nil {
+	if err := mainErr("fig99", "quick", "", 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := mainErr("fig1", "huge", ""); err == nil {
+	if err := mainErr("fig1", "huge", "", 0); err == nil {
 		t.Fatal("unknown scale accepted")
 	}
 }

@@ -35,6 +35,10 @@ type Options struct {
 	// prompt string (cheaper for large prompts). Default true for lengths
 	// above 4096.
 	UseSyntheticPrompt bool
+	// MaxInFlight caps concurrent in-flight requests (0 = unlimited).
+	// Arrival times stay open-loop; requests beyond the cap queue in the
+	// client and their measured latency includes the queueing delay.
+	MaxInFlight int
 }
 
 // Result aggregates a benchmark run.
@@ -70,7 +74,11 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		collector metrics.Collector
 		errs      []error
 		wg        sync.WaitGroup
+		sem       chan struct{}
 	)
+	if opts.MaxInFlight > 0 {
+		sem = make(chan struct{}, opts.MaxInFlight)
+	}
 	start := time.Now()
 	for i, it := range opts.Items {
 		wg.Add(1)
@@ -84,6 +92,17 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				errs = append(errs, ctx.Err())
 				mu.Unlock()
 				return
+			}
+			if sem != nil {
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-ctx.Done():
+					mu.Lock()
+					errs = append(errs, ctx.Err())
+					mu.Unlock()
+					return
+				}
 			}
 			rec, err := sendOne(ctx, httpc, opts, int64(id), item)
 			mu.Lock()

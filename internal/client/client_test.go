@@ -2,7 +2,9 @@ package client
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -126,5 +128,65 @@ func TestServerDownReportsErrors(t *testing.T) {
 	}
 	if res.Report.Requests != 0 {
 		t.Fatal("failed request counted as finished")
+	}
+}
+
+func TestMaxInFlightCapsConcurrency(t *testing.T) {
+	rt, err := runtime.Start(runtime.Config{
+		Model:     model.Qwen25_14B,
+		GPU:       gpu.L20,
+		Topo:      network.IntraNode(4, network.PCIe),
+		Scheduler: sched.NewDefaultThrottle(),
+		Async:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur, peak atomic.Int64
+	h := server.New(rt, "Qwen2.5-14B")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	})
+
+	// A burst of simultaneous arrivals: without the cap all 12 would be in
+	// flight at once.
+	items := make([]workload.Item, 12)
+	for i := range items {
+		items[i] = workload.Item{PromptLen: 16, OutputLen: 4}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Options{
+		BaseURL:            ts.URL,
+		Model:              "Qwen2.5-14B",
+		Items:              items,
+		UseSyntheticPrompt: true,
+		MaxInFlight:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Report.Requests != len(items) {
+		t.Fatalf("finished %d/%d", res.Report.Requests, len(items))
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak in-flight = %d, cap 2", p)
 	}
 }

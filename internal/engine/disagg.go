@@ -95,8 +95,8 @@ func RunDisaggregated(cfg DisaggConfig, items []workload.Item) (*Result, error) 
 		layers := cfg.Model.StageLayers(depth)
 		kvCap := cost.KVCapacityTokensPP(layers, cfg.MemUtil)
 		if kvCap < int64(cfg.KVBlockSize) {
-			return nil, fmt.Errorf("engine: %s does not fit on %d x %s (%s replica)",
-				cfg.Model.Name, depth, cfg.GPU.Name, name)
+			return nil, fmt.Errorf("engine: %s on %d x %s (%s replica): %w",
+				cfg.Model.Name, depth, cfg.GPU.Name, name, ErrModelDoesNotFit)
 		}
 		rep := &replica{
 			name:        name,

@@ -219,7 +219,7 @@ func validateWorkload(items []workload.Item, kvCapacity int64) error {
 	}
 	for i, it := range items {
 		if need := int64(it.PromptLen + it.OutputLen); need > kvCapacity {
-			return fmt.Errorf("engine: request %d needs %d KV tokens, capacity %d", i, need, kvCapacity)
+			return fmt.Errorf("engine: request %d needs %d KV tokens, capacity %d: %w", i, need, kvCapacity, ErrModelDoesNotFit)
 		}
 	}
 	return nil

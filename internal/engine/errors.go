@@ -1,0 +1,11 @@
+package engine
+
+import "errors"
+
+// ErrModelDoesNotFit reports a pure capacity failure: the deployment's
+// weights leave no usable KV-cache capacity on the configured hardware, or
+// the trace contains a request that can never fit in that capacity. Callers
+// that sweep deployment sizes (e.g. the Figure 13 scalability grid) match
+// it with errors.Is to render such configurations as omitted/zero bars
+// while still propagating every other failure.
+var ErrModelDoesNotFit = errors.New("model does not fit")

@@ -63,8 +63,8 @@ func RunPipeline(cfg Config, items []workload.Item) (*Result, error) {
 	stageLayers := cfg.Model.StageLayers(depth)
 	kvCap := cost.KVCapacityTokensPP(stageLayers, cfg.MemUtil)
 	if kvCap < int64(cfg.KVBlockSize) {
-		return nil, fmt.Errorf("engine: %s does not fit on %d x %s (KV capacity %d tokens)",
-			cfg.Model.Name, depth, cfg.GPU.Name, kvCap)
+		return nil, fmt.Errorf("engine: %s on %d x %s (KV capacity %d tokens): %w",
+			cfg.Model.Name, depth, cfg.GPU.Name, kvCap, ErrModelDoesNotFit)
 	}
 	if err := validateWorkload(items, kvCap); err != nil {
 		return nil, err

@@ -48,8 +48,8 @@ func RunTensor(cfg Config, items []workload.Item) (*Result, error) {
 	cost := gpu.NewCostModel(cfg.Model, cfg.GPU)
 	kvCap := cost.KVCapacityTokensTP(tp, cfg.MemUtil)
 	if kvCap < int64(cfg.KVBlockSize) {
-		return nil, fmt.Errorf("engine: %s does not fit on %d x %s under TP (KV capacity %d tokens)",
-			cfg.Model.Name, tp, cfg.GPU.Name, kvCap)
+		return nil, fmt.Errorf("engine: %s on %d x %s under TP (KV capacity %d tokens): %w",
+			cfg.Model.Name, tp, cfg.GPU.Name, kvCap, ErrModelDoesNotFit)
 	}
 	if err := validateWorkload(items, kvCap); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gllm/internal/model"
@@ -37,33 +38,28 @@ func Fig1TokenVolatility(sc Scale, rate float64) (*Fig1Result, error) {
 	cluster := IntraNodeL20(model.Qwen25_32B)
 	items := sc.trace(workload.ShareGPT, rate)
 
-	mk := func(sys System) (Fig1Series, error) {
-		res, err := sys.Run(cluster, items)
-		if err != nil {
-			return Fig1Series{}, err
-		}
-		total := res.TokensPerIteration()
-		sum := stats.Summarize(total)
-		return Fig1Series{
-			System:  sys.Name,
-			Prefill: res.PrefillPerIteration(),
-			Decode:  res.DecodePerIteration(),
-			Total:   total,
-			Mean:    sum.Mean,
-			Std:     sum.Std,
-			CV:      sum.CV(),
-		}, nil
-	}
-
-	sar, err := mk(SysVLLM)
+	series, err := RunGrid(context.Background(), []System{SysVLLM, SysGLLM}, sc.Workers,
+		func(_ context.Context, sys System) (Fig1Series, error) {
+			res, err := sys.Run(cluster, items)
+			if err != nil {
+				return Fig1Series{}, fmt.Errorf("experiments fig1: %s: %w", sys.Name, err)
+			}
+			total := res.TokensPerIteration()
+			sum := stats.Summarize(total)
+			return Fig1Series{
+				System:  sys.Name,
+				Prefill: res.PrefillPerIteration(),
+				Decode:  res.DecodePerIteration(),
+				Total:   total,
+				Mean:    sum.Mean,
+				Std:     sum.Std,
+				CV:      sum.CV(),
+			}, nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("experiments fig1: sarathi: %w", err)
+		return nil, err
 	}
-	gl, err := mk(SysGLLM)
-	if err != nil {
-		return nil, fmt.Errorf("experiments fig1: gllm: %w", err)
-	}
-	return &Fig1Result{Sarathi: sar, GLLM: gl}, nil
+	return &Fig1Result{Sarathi: series[0], GLLM: series[1]}, nil
 }
 
 // String renders the volatility comparison.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,12 +41,18 @@ func Fig4Utilization(sc Scale, rate float64, sys System) (*Fig4Result, error) {
 	cluster := IntraNodeL20(model.Qwen25_32B)
 	items := sc.trace(workload.ShareGPT, rate)
 
-	cfg := sys.config(cluster)
-	cfg.UtilSampleEvery = 250 * time.Millisecond
-	res, err := engine.RunPipeline(cfg, items)
+	// A one-cell grid: Figure 4 is a single run, but routing it through
+	// RunGrid keeps every experiment on the same execution path.
+	runs, err := RunGrid(context.Background(), []System{sys}, sc.Workers,
+		func(_ context.Context, s System) (*engine.Result, error) {
+			cfg := s.config(cluster)
+			cfg.UtilSampleEvery = 250 * time.Millisecond
+			return engine.RunPipeline(cfg, items)
+		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments fig4: %w", err)
 	}
+	res := runs[0]
 
 	out := &Fig4Result{
 		System:         sys.Name,

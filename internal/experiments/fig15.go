@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gllm/internal/model"
@@ -49,19 +50,22 @@ func Fig15Ablation(sc Scale, rate float64, ds workload.Dataset) (*Fig15Result, e
 func Fig15AblationOn(cluster Cluster, sc Scale, rate float64, ds workload.Dataset) (*Fig15Result, error) {
 	items := sc.trace(ds, rate)
 
-	var rows []Fig15Row
-	for _, sys := range AblationSystems() {
-		res, err := sys.Run(cluster, items)
-		if err != nil {
-			return nil, fmt.Errorf("experiments fig15: %s: %w", sys.Name, err)
-		}
-		rows = append(rows, Fig15Row{
-			System:     sys.Name,
-			TTFT:       res.Report.TTFT.Mean,
-			TPOT:       res.Report.TPOT.Mean,
-			E2E:        res.Report.E2E.Mean,
-			Throughput: res.Report.TokenThroughput,
+	rows, err := RunGrid(context.Background(), AblationSystems(), sc.Workers,
+		func(_ context.Context, sys System) (Fig15Row, error) {
+			res, err := sys.Run(cluster, items)
+			if err != nil {
+				return Fig15Row{}, fmt.Errorf("experiments fig15: %s: %w", sys.Name, err)
+			}
+			return Fig15Row{
+				System:     sys.Name,
+				TTFT:       res.Report.TTFT.Mean,
+				TPOT:       res.Report.TPOT.Mean,
+				E2E:        res.Report.E2E.Mean,
+				Throughput: res.Report.TokenThroughput,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	base := rows[0] // SysGLLM is first in AblationSystems
 	for i := range rows {

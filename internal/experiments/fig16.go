@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gllm/internal/core"
@@ -121,17 +122,24 @@ func Fig16SensitivityOn(cluster Cluster, sc Scale, rate float64, ds workload.Dat
 
 	sweep := func(name string, grid []float64, apply func(core.Params, float64) core.Params, defVal float64) (Fig16Sweep, error) {
 		sw := Fig16Sweep{Param: name}
+		points, err := RunGrid(context.Background(), grid, sc.Workers,
+			func(_ context.Context, v float64) (Fig16Point, error) {
+				p, err := runWith(apply(core.DefaultParams(), v))
+				if err != nil {
+					return Fig16Point{}, fmt.Errorf("%s=%g: %w", name, v, err)
+				}
+				p.Value = v
+				return p, nil
+			})
+		if err != nil {
+			return sw, err
+		}
+		sw.Points = points
 		var def Fig16Point
-		for _, v := range grid {
-			p, err := runWith(apply(core.DefaultParams(), v))
-			if err != nil {
-				return sw, fmt.Errorf("%s=%g: %w", name, v, err)
-			}
-			p.Value = v
-			if v == defVal {
+		for _, p := range sw.Points {
+			if p.Value == defVal {
 				def = p
 			}
-			sw.Points = append(sw.Points, p)
 		}
 		for i := range sw.Points {
 			p := &sw.Points[i]

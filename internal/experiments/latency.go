@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"gllm/internal/engine"
 	"gllm/internal/workload"
 )
 
@@ -30,37 +33,53 @@ var (
 // LatencyThroughput runs the Figure 10/12 experiment: every system over a
 // grid of request rates on one cluster and dataset, reporting mean TTFT,
 // TPOT, E2EL and token throughput per point (and SLO attainment when slo is
-// non-zero).
+// non-zero). The systems x rates cells are independent simulations and run
+// concurrently under sc.Workers; output order and content are identical at
+// every worker count.
 func LatencyThroughput(c Cluster, ds workload.Dataset, systems []System, rates []float64, sc Scale, slo SLO) ([]Sweep, error) {
 	if len(rates) == 0 {
 		return nil, fmt.Errorf("experiments: empty rate grid")
 	}
-	sweeps := make([]Sweep, 0, len(systems))
-	for _, sys := range systems {
-		sw := Sweep{System: sys.Name}
-		for _, rate := range rates {
-			items := sc.trace(ds, rate)
-			if len(items) == 0 {
-				return nil, fmt.Errorf("experiments: rate %g over %v produced no requests", rate, sc.Window)
-			}
-			res, err := sys.Run(c, items)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at rate %g: %w", sys.Name, rate, err)
-			}
-			p := RatePoint{
-				Rate:        rate,
-				TTFT:        res.Report.TTFT.Mean,
-				TPOT:        res.Report.TPOT.Mean,
-				E2E:         res.Report.E2E.Mean,
-				Throughput:  res.Report.TokenThroughput,
-				Preemptions: res.Preemptions,
-			}
-			if slo.TTFT > 0 {
-				p.SLO = res.Collector.SLOAttainment(slo.TTFT, slo.TPOT)
-			}
-			sw.Points = append(sw.Points, p)
+	type cell struct{ si, ri int }
+	cells := make([]cell, 0, len(systems)*len(rates))
+	for si := range systems {
+		for ri := range rates {
+			cells = append(cells, cell{si, ri})
 		}
-		sweeps = append(sweeps, sw)
+	}
+	points, err := RunGrid(context.Background(), cells, sc.Workers, func(_ context.Context, cl cell) (RatePoint, error) {
+		sys, rate := systems[cl.si], rates[cl.ri]
+		items := sc.trace(ds, rate)
+		if len(items) == 0 {
+			return RatePoint{}, fmt.Errorf("experiments: rate %g over %v produced no requests", rate, sc.Window)
+		}
+		res, err := sys.Run(c, items)
+		if err != nil {
+			return RatePoint{}, fmt.Errorf("experiments: %s at rate %g: %w", sys.Name, rate, err)
+		}
+		p := RatePoint{
+			Rate:        rate,
+			TTFT:        res.Report.TTFT.Mean,
+			TPOT:        res.Report.TPOT.Mean,
+			E2E:         res.Report.E2E.Mean,
+			Throughput:  res.Report.TokenThroughput,
+			Preemptions: res.Preemptions,
+		}
+		if slo.TTFT > 0 {
+			p.SLO = res.Collector.SLOAttainment(slo.TTFT, slo.TPOT)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweeps := make([]Sweep, len(systems))
+	for si := range systems {
+		sweeps[si].System = systems[si].Name
+		sweeps[si].Points = make([]RatePoint, 0, len(rates))
+	}
+	for i, cl := range cells {
+		sweeps[cl.si].Points = append(sweeps[cl.si].Points, points[i])
 	}
 	return sweeps, nil
 }
@@ -68,7 +87,9 @@ func LatencyThroughput(c Cluster, ds workload.Dataset, systems []System, rates [
 // MaxThroughput escalates the request rate geometrically until token
 // throughput stops improving by more than 5% (the paper's Figure 13
 // procedure: "incrementally increasing request rates until system
-// throughput stabilizes") and returns the plateau throughput.
+// throughput stabilizes") and returns the plateau throughput. The
+// escalation is inherently sequential (each step depends on the last);
+// callers parallelize across systems and clusters around it.
 func MaxThroughput(c Cluster, ds workload.Dataset, sys System, sc Scale) (float64, error) {
 	best := 0.0
 	rate := 0.5
@@ -105,28 +126,57 @@ type ScalabilityPoint struct {
 }
 
 // Scalability measures max throughput across a list of cluster sizes
-// (Figure 13): clusters must be ordered smallest first.
+// (Figure 13): clusters must be ordered smallest first. The systems x
+// clusters cells run concurrently under sc.Workers (the per-cell rate
+// escalation stays sequential, see MaxThroughput).
 func Scalability(clusters []Cluster, ds workload.Dataset, systems []System, sc Scale) ([]ScalabilityPoint, error) {
-	var out []ScalabilityPoint
-	for _, sys := range systems {
-		base := 0.0
-		for _, c := range clusters {
-			tput, err := MaxThroughput(c, ds, sys, sc)
-			if err != nil {
-				// Configurations where the model does not fit are reported
-				// as zero-throughput bars (the paper simply omits them).
-				out = append(out, ScalabilityPoint{System: sys.Name, GPUs: c.Topo.GPUs()})
-				continue
-			}
-			if base == 0 {
-				base = tput
-			}
-			sp := ScalabilityPoint{System: sys.Name, GPUs: c.Topo.GPUs(), Tput: tput}
-			if base > 0 {
-				sp.SpeedupVsBase = tput / base
-			}
-			out = append(out, sp)
+	type cell struct{ si, ci int }
+	cells := make([]cell, 0, len(systems)*len(clusters))
+	for si := range systems {
+		for ci := range clusters {
+			cells = append(cells, cell{si, ci})
 		}
+	}
+	type outcome struct {
+		tput float64
+		fits bool
+	}
+	res, err := RunGrid(context.Background(), cells, sc.Workers, func(_ context.Context, cl cell) (outcome, error) {
+		tput, err := MaxThroughput(clusters[cl.ci], ds, systems[cl.si], sc)
+		if err != nil {
+			// Configurations where the model does not fit are reported as
+			// zero-throughput bars (the paper simply omits them); every
+			// other failure is a real error and propagates.
+			if errors.Is(err, engine.ErrModelDoesNotFit) {
+				return outcome{}, nil
+			}
+			return outcome{}, err
+		}
+		return outcome{tput: tput, fits: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalabilityPoint, 0, len(cells))
+	base := 0.0
+	for i, cl := range cells {
+		if cl.ci == 0 {
+			base = 0 // new system: base resets to its smallest fitting config
+		}
+		sys, c := systems[cl.si], clusters[cl.ci]
+		o := res[i]
+		if !o.fits {
+			out = append(out, ScalabilityPoint{System: sys.Name, GPUs: c.Topo.GPUs()})
+			continue
+		}
+		if base == 0 {
+			base = o.tput
+		}
+		sp := ScalabilityPoint{System: sys.Name, GPUs: c.Topo.GPUs(), Tput: o.tput}
+		if base > 0 {
+			sp.SpeedupVsBase = o.tput / base
+		}
+		out = append(out, sp)
 	}
 	return out, nil
 }

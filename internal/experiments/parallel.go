@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunGrid evaluates fn over every cell of an experiment grid, fanning the
+// calls across at most workers goroutines, and returns the results indexed
+// exactly like cells — output order is deterministic regardless of
+// completion order. Every figure/table grid in this package is a set of
+// fully independent simulation cells (each builds a fresh sim.Engine), so
+// this is the package's single concurrency primitive.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 runs the cells
+// sequentially on the calling goroutine. Because each cell is deterministic
+// given its input, results are bit-for-bit identical at every worker count
+// (asserted by TestLatencyThroughputParallelEquivalence).
+//
+// On failure the first error in cell order is returned and the shared
+// context is cancelled so unstarted cells are skipped; fn implementations
+// that poll ctx can abort early. Cells cancelled as fallout of another
+// cell's failure never mask that failure.
+func RunGrid[C, R any](ctx context.Context, cells []C, workers int, fn func(context.Context, C) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]R, len(cells))
+	if len(cells) == 0 {
+		return out, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers == 1 {
+		for i, c := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, c)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if err := gctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := fn(gctx, cells[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // fail fast: stop claiming fresh cells
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the lowest-indexed real failure; cancellation fallout (cells
+	// skipped because another cell already failed, or because the caller's
+	// own ctx was cancelled) only surfaces when it is all there is.
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if cancelled == nil {
+			cancelled = err
+		}
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return out, nil
+}

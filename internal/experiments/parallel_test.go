@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/workload"
+)
+
+func TestRunGridDeterministicOrder(t *testing.T) {
+	cells := make([]int, 64)
+	for i := range cells {
+		cells[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		out, err := RunGrid(context.Background(), cells, workers, func(_ context.Context, c int) (int, error) {
+			// Uneven per-cell work so completion order scrambles.
+			s := 0
+			for i := 0; i < (c%7)*1000; i++ {
+				s += i
+			}
+			_ = s
+			return c * 2, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*2 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*2)
+			}
+		}
+	}
+}
+
+func TestRunGridEmpty(t *testing.T) {
+	out, err := RunGrid(context.Background(), []int{}, 4, func(_ context.Context, c int) (int, error) {
+		return c, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty grid: out=%v err=%v", out, err)
+	}
+}
+
+func TestRunGridErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	cells := make([]int, 32)
+	for i := range cells {
+		cells[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunGrid(context.Background(), cells, workers, func(_ context.Context, c int) (int, error) {
+			if c == 5 || c == 20 {
+				return 0, fmt.Errorf("cell %d: %w", c, boom)
+			}
+			return c, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error = %v, want the injected failure", workers, err)
+		}
+	}
+	// With a single failing cell the reported error is exactly that cell's,
+	// at every worker count (deterministic error propagation).
+	for _, workers := range []int{1, 4, 32} {
+		_, err := RunGrid(context.Background(), cells, workers, func(_ context.Context, c int) (int, error) {
+			if c == 11 {
+				return 0, fmt.Errorf("cell 11: %w", boom)
+			}
+			return c, nil
+		})
+		if err == nil || !errors.Is(err, boom) || err.Error() != "cell 11: boom" {
+			t.Fatalf("workers=%d: error = %v, want cell 11's", workers, err)
+		}
+	}
+}
+
+func TestRunGridCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	var mu sync.Mutex
+	_, err := RunGrid(ctx, []int{1, 2, 3}, 2, func(_ context.Context, c int) (int, error) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return c, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d cells ran after cancellation", ran)
+	}
+}
+
+// TestLatencyThroughputParallelEquivalence is the paper-reproduction
+// contract: the same grid at workers=1 and workers=8 must produce deeply
+// equal sweeps.
+func TestLatencyThroughputParallelEquivalence(t *testing.T) {
+	cluster := IntraNodeL20(model.Qwen25_14B)
+	rates := []float64{1, 4}
+	seq := QuickScale()
+	seq.Workers = 1
+	par := QuickScale()
+	par.Workers = 8
+	a, err := LatencyThroughput(cluster, workload.ShareGPT, MainSystems(), rates, seq, SLOShareGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LatencyThroughput(cluster, workload.ShareGPT, MainSystems(), rates, par, SLOShareGPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel run diverged from sequential:\nseq: %+v\npar: %+v", a, b)
+	}
+}
+
+func TestTraceCacheDeterministicAndIsolated(t *testing.T) {
+	sc := QuickScale()
+	a := sc.trace(workload.ShareGPT, 2)
+	b := sc.trace(workload.ShareGPT, 2)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cached trace differs from synthesized trace")
+	}
+	// Mutating one run's items must not leak into another run's.
+	a[0].PromptLen = -12345
+	c := sc.trace(workload.ShareGPT, 2)
+	if c[0].PromptLen == -12345 {
+		t.Fatal("mutation leaked through the trace cache")
+	}
+	if !reflect.DeepEqual(b, c) {
+		t.Fatal("trace changed across calls")
+	}
+	// Different key components miss the cache rather than aliasing.
+	sc2 := sc
+	sc2.Seed++
+	d := sc2.trace(workload.ShareGPT, 2)
+	if reflect.DeepEqual(b, d) {
+		t.Fatal("different seed returned the cached trace")
+	}
+}
+
+func TestTraceCacheConcurrentAccess(t *testing.T) {
+	sc := QuickScale()
+	want := sc.trace(workload.Azure, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				got := sc.trace(workload.Azure, 1)
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent trace mismatch")
+					return
+				}
+				// Scribble on the private copy; no other goroutine may see it.
+				for j := range got {
+					got[j].OutputLen = -1
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScalabilityZeroBarOnlyForCapacityErrors(t *testing.T) {
+	sc := QuickScale()
+	// A 100B model on a single L20 is a pure capacity failure: it must
+	// render as a zero-throughput bar, not an error.
+	small := Cluster{Model: model.Llama31_100B, GPU: gpu.L20,
+		Topo: network.IntraNode(1, network.PCIe), MemUtil: 0.9}
+	points, err := Scalability([]Cluster{small}, workload.ShareGPT, []System{SysVLLM}, sc)
+	if err != nil {
+		t.Fatalf("capacity failure propagated as error: %v", err)
+	}
+	if len(points) != 1 || points[0].Tput != 0 || points[0].SpeedupVsBase != 0 {
+		t.Fatalf("want one zero bar, got %+v", points)
+	}
+	// A real configuration error (invalid MemUtil) must propagate.
+	bad := IntraNodeL20(model.Qwen25_14B)
+	bad.MemUtil = 1.5
+	if _, err := Scalability([]Cluster{bad}, workload.ShareGPT, []System{SysVLLM}, sc); err == nil {
+		t.Fatal("real error swallowed as zero bar")
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"gllm/internal/model"
 	"gllm/internal/network"
 	"gllm/internal/sched"
-	"gllm/internal/stats"
 	"gllm/internal/workload"
 )
 
@@ -132,6 +131,10 @@ type Scale struct {
 	Window time.Duration
 	// Seed drives workload synthesis.
 	Seed uint64
+	// Workers bounds how many grid cells an experiment may simulate
+	// concurrently (see RunGrid): 0 means runtime.GOMAXPROCS(0), 1 forces
+	// sequential execution. Results are identical at every setting.
+	Workers int
 }
 
 // QuickScale is a fast configuration for tests and CI.
@@ -139,11 +142,6 @@ func QuickScale() Scale { return Scale{Window: 16 * time.Second, Seed: 20250704}
 
 // PaperScale matches the paper's 128 s send window.
 func PaperScale() Scale { return Scale{Window: 128 * time.Second, Seed: 20250704} }
-
-// trace synthesizes the experiment workload for a dataset and rate.
-func (sc Scale) trace(ds workload.Dataset, rate float64) []workload.Item {
-	return workload.Poisson(stats.NewRNG(sc.Seed), ds, rate, sc.Window)
-}
 
 // RatePoint is one (request rate → metrics) sample of a sweep.
 type RatePoint struct {

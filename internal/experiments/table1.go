@@ -89,22 +89,33 @@ func Table1Equivalence(seed uint64, n int, srcRoot string) (*Table1Result, error
 	}
 
 	items := workload.Burst(stats.NewRNG(seed), workload.ShareGPT, n, 0)
-	gl, err := mk(sched.NewDefaultThrottle())
+	// Both live runtimes are independent (own goroutine pipelines, own
+	// virtual state) and the token digests are schedule-invariant, so the
+	// two serve runs fan out through the grid runner.
+	type variant struct {
+		name string
+		mk   func() sched.Scheduler
+	}
+	variants := []variant{
+		{"gllm", func() sched.Scheduler { return sched.NewDefaultThrottle() }},
+		{"sarathi", func() sched.Scheduler { return sched.NewSarathi(2048) }},
+	}
+	digests, err := RunGrid(context.Background(), variants, 0,
+		func(_ context.Context, v variant) (uint64, error) {
+			rt, err := mk(v.mk())
+			if err != nil {
+				return 0, err
+			}
+			d, err := serve(rt, items)
+			if err != nil {
+				return 0, fmt.Errorf("experiments table1: %s serve: %w", v.name, err)
+			}
+			return d, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	dg, err := serve(gl, items)
-	if err != nil {
-		return nil, fmt.Errorf("experiments table1: gllm serve: %w", err)
-	}
-	sa, err := mk(sched.NewSarathi(2048))
-	if err != nil {
-		return nil, err
-	}
-	ds, err := serve(sa, items)
-	if err != nil {
-		return nil, fmt.Errorf("experiments table1: sarathi serve: %w", err)
-	}
+	dg, ds := digests[0], digests[1]
 
 	res := &Table1Result{
 		PaperLoC:      map[string]int{"gLLM": 3874, "SGLang": 65097, "vLLM": 226874},

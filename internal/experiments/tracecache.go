@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"slices"
+	"sync"
+	"time"
+
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+// traceKey identifies one synthesized workload. The full Dataset value (not
+// just its name) is part of the key so custom datasets with clashing names
+// cannot collide.
+type traceKey struct {
+	ds     workload.Dataset
+	rate   float64
+	window time.Duration
+	seed   uint64
+}
+
+// traceCache memoizes workload synthesis across an experiment grid: every
+// system sweeping the same rate grid replays the identical trace, so before
+// memoization each (seed, dataset, rate, window) tuple was re-synthesized
+// once per system per rate. Values are private master copies; trace() hands
+// every caller its own clone so a run (or a caller such as bench ablations
+// that rewrites item lengths) can never leak mutations into another run.
+// sync.Map fits the access pattern exactly: write-once keys, then
+// concurrent read-mostly hits from RunGrid workers.
+var traceCache sync.Map // traceKey -> []workload.Item
+
+// trace synthesizes (or recalls) the experiment workload for a dataset and
+// rate. The returned slice is owned by the caller.
+func (sc Scale) trace(ds workload.Dataset, rate float64) []workload.Item {
+	key := traceKey{ds: ds, rate: rate, window: sc.Window, seed: sc.Seed}
+	if v, ok := traceCache.Load(key); ok {
+		return slices.Clone(v.([]workload.Item))
+	}
+	items := workload.Poisson(stats.NewRNG(sc.Seed), ds, rate, sc.Window)
+	// Concurrent misses may both synthesize; the content is deterministic,
+	// so whichever copy lands in the cache is equivalent.
+	traceCache.Store(key, slices.Clone(items))
+	return items
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHeapGlobalOrder pushes a large scrambled schedule (with many duplicate
+// timestamps) directly into the heap and verifies pops come out in strict
+// (at, seq) order — the kernel's determinism contract.
+func TestHeapGlobalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h eventHeap
+	type key struct {
+		at  time.Duration
+		seq uint64
+	}
+	var want []key
+	for seq := uint64(1); seq <= 4096; seq++ {
+		at := time.Duration(rng.Intn(64)) * time.Millisecond
+		h.push(event{at: at, seq: seq})
+		want = append(want, key{at, seq})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, w := range want {
+		got := h.pop()
+		if got.at != w.at || got.seq != w.seq {
+			t.Fatalf("pop %d = (%v, %d), want (%v, %d)", i, got.at, got.seq, w.at, w.seq)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.len())
+	}
+}
+
+// TestHeapInterleavedPushPop mixes pushes and pops (the simulator's actual
+// access pattern: events schedule more events) and checks the running
+// minimum never regresses.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	seq := uint64(0)
+	var last event
+	popped := 0
+	for round := 0; round < 2000; round++ {
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			seq++
+			// Never schedule before the last popped timestamp (mirrors the
+			// Engine's no-past invariant).
+			at := last.at + time.Duration(rng.Intn(10))*time.Millisecond
+			h.push(event{at: at, seq: seq})
+		}
+		if h.len() > 0 && rng.Intn(2) == 0 {
+			got := h.pop()
+			popped++
+			if got.before(last) {
+				t.Fatalf("pop went backwards: (%v,%d) after (%v,%d)", got.at, got.seq, last.at, last.seq)
+			}
+			last = got
+		}
+	}
+	for h.len() > 0 {
+		got := h.pop()
+		popped++
+		if got.before(last) {
+			t.Fatalf("drain went backwards: (%v,%d) after (%v,%d)", got.at, got.seq, last.at, last.seq)
+		}
+		last = got
+	}
+	if popped != int(seq) {
+		t.Fatalf("popped %d of %d pushed", popped, seq)
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := New()
+	ran := 0
+	e.After(time.Second, func() { ran++ })
+	e.After(2*time.Second, func() { ran++ })
+	e.RunUntil(time.Second)
+	if ran != 1 || e.Executed() != 1 || e.Pending() != 1 {
+		t.Fatalf("pre-reset state: ran=%d executed=%d pending=%d", ran, e.Executed(), e.Pending())
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Executed() != 0 {
+		t.Fatalf("post-reset state: now=%v pending=%d executed=%d", e.Now(), e.Pending(), e.Executed())
+	}
+	// The dropped event must never fire; the reused engine behaves like new,
+	// including FIFO tie-breaking (seq restarts).
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("dropped event fired: ran=%d", ran)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("post-reset ties not FIFO at %d: %v", i, v)
+		}
+	}
+	if e.Now() != time.Second || e.Executed() != 50 {
+		t.Fatalf("post-reset run: now=%v executed=%d", e.Now(), e.Executed())
+	}
+}
+
+// --- container/heap baseline for the micro-benchmarks ---
+//
+// boxedHeap is the kernel's previous event heap: a binary heap driven
+// through container/heap, which boxes every event into an interface{} on
+// Push. Kept here as the benchmark baseline for the monomorphic 4-ary heap.
+
+type boxedHeap []event
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// benchSchedule is a deterministic scrambled (at, seq) workload shared by
+// both heap benchmarks.
+func benchSchedule(n int) []event {
+	evs := make([]event, n)
+	for i := range evs {
+		evs[i] = event{at: time.Duration((i*7919)%257) * time.Microsecond, seq: uint64(i + 1)}
+	}
+	return evs
+}
+
+// BenchmarkEventHeap4ary measures the monomorphic 4-ary heap: push a
+// scrambled schedule, drain it. Expect zero allocs/op in steady state (the
+// backing array is reused across iterations).
+func BenchmarkEventHeap4ary(b *testing.B) {
+	evs := benchSchedule(1024)
+	var h eventHeap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range evs {
+			h.push(e)
+		}
+		for h.len() > 0 {
+			h.pop()
+		}
+	}
+}
+
+// BenchmarkEventHeapContainerHeap measures the previous container/heap
+// implementation on the identical schedule: every Push boxes the event,
+// costing one allocation per scheduled event.
+func BenchmarkEventHeapContainerHeap(b *testing.B) {
+	evs := benchSchedule(1024)
+	h := make(boxedHeap, 0, len(evs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range evs {
+			heap.Push(&h, e)
+		}
+		for h.Len() > 0 {
+			heap.Pop(&h)
+		}
+	}
+}
+
+// BenchmarkEngineReuse measures a full schedule-and-drain cycle through the
+// Engine API with Reset-based reuse (no per-run heap growth).
+func BenchmarkEngineReuse(b *testing.B) {
+	e := New()
+	noop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for j := 0; j < 1024; j++ {
+			e.At(time.Duration((j*7919)%257)*time.Microsecond, noop)
+		}
+		e.Run()
+	}
+}
