@@ -1,0 +1,21 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check tier1 race fuzz-smoke
+
+# check runs everything a PR must pass: tier-1 build+tests, the race
+# tier (see ROADMAP.md), and a short fuzz smoke of both fuzz targets.
+check: tier1 race fuzz-smoke
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/...
+
+# -run='^$$' skips the regular tests so only the fuzz engine runs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzKVAllocFree -fuzztime=$(FUZZTIME) ./internal/kvcache
+	$(GO) test -run='^$$' -fuzz=FuzzThrottleSchedule -fuzztime=$(FUZZTIME) ./internal/sched

@@ -19,6 +19,7 @@ import (
 	"gllm/internal/core"
 	"gllm/internal/engine"
 	"gllm/internal/gpu"
+	"gllm/internal/invariant"
 	"gllm/internal/model"
 	"gllm/internal/network"
 	"gllm/internal/sched"
@@ -55,6 +56,7 @@ func main() {
 		prefixCache = flag.Bool("enable-prefix-cache", false, "reuse KV across requests sharing a prefix group")
 		costAware   = flag.Bool("cost-aware", false, "attention-aware decode balancing (gLLM scheduler only)")
 		convs       = flag.Bool("conversations", false, "synthesize multi-turn conversations instead of independent requests")
+		checkInv    = flag.Bool("check-invariants", false, "audit every scheduling cycle against the invariant catalogue (see internal/invariant)")
 	)
 	flag.Parse()
 	opts := simOptions{
@@ -62,6 +64,7 @@ func main() {
 		prefixCache: *prefixCache,
 		costAware:   *costAware,
 		convs:       *convs,
+		checkInv:    *checkInv,
 	}
 	if err := run(*modelName, *gpuName, *nodes, *gpusPerNode, *parallelism, *schedName,
 		*runtimeName, *datasetName, *tracePath, *rate, *window, *seed, *memUtil, *budget,
@@ -78,6 +81,7 @@ type simOptions struct {
 	prefixCache bool
 	costAware   bool
 	convs       bool
+	checkInv    bool
 }
 
 func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedName,
@@ -167,6 +171,11 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 	if utilCSV != "" {
 		cfg.UtilSampleEvery = 250 * time.Millisecond
 	}
+	var col *invariant.Collector
+	if opts.checkInv {
+		col = invariant.NewCollector(invariant.Options{})
+		cfg.Observer = col.Observer
+	}
 
 	var res *engine.Result
 	switch parallelism {
@@ -186,6 +195,11 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 	fmt.Printf("KV capacity: %d tokens; injections: %d; preemptions: %d; bubble fraction: %.3f\n",
 		res.KVCapacityTokens, res.Injections, res.Preemptions, res.BubbleFraction)
 	fmt.Print(res.Report.String())
+	if col != nil {
+		// A violation aborts the run through the engine's error path, so
+		// reaching this point means every audited cycle was clean.
+		fmt.Printf("invariants: ok (%d audited cycles)\n", col.Cycles())
+	}
 	if sloTTFT > 0 {
 		att := res.Collector.SLOAttainment(sloTTFT, sloTPOT)
 		fmt.Printf("  SLO attainment (ttft<=%v, tpot<=%v): %.1f%%\n", sloTTFT, sloTPOT, att*100)

@@ -57,6 +57,7 @@ type replica struct {
 	name        string
 	pool        *sched.Pool
 	sched       sched.Scheduler
+	obs         BatchObserver
 	stages      []*sim.Resource
 	stageLayers []int
 	inFlight    int
@@ -104,6 +105,9 @@ func RunDisaggregated(cfg DisaggConfig, items []workload.Item) (*Result, error) 
 			sched:       sched.NewSarathi(budget),
 			stageLayers: layers,
 		}
+		if cfg.Observer != nil {
+			rep.obs = cfg.Observer(rep.pool, rep.sched)
+		}
 		rep.stages = make([]*sim.Resource, depth)
 		for i := range rep.stages {
 			rep.stages[i] = sim.NewResource(r.eng, fmt.Sprintf("%s-stage%d", name, i))
@@ -146,17 +150,26 @@ func RunDisaggregated(cfg DisaggConfig, items []workload.Item) (*Result, error) 
 		return nil, fmt.Errorf("engine: only %d/%d requests finished (disaggregation stall?)",
 			r.finishedCount, r.totalRequests)
 	}
+	for _, rep := range []*replica{r.prefill, r.decode} {
+		if rep.obs != nil {
+			if err := rep.obs.Final(r.eng.Now()); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	makespan := r.lastFinish
 	res := &Result{
-		SchedulerName: fmt.Sprintf("disagg-%dp%dd", depthP, depthD),
-		RuntimeName:   cfg.Runtime.Name,
-		Requests:      r.totalRequests,
-		Report:        r.collector.Report(makespan),
-		Collector:     &r.collector,
-		Preemptions:   r.prefill.pool.Preemptions() + r.decode.pool.Preemptions(),
-		Injections:    r.injections,
-		Makespan:      makespan,
+		SchedulerName:   fmt.Sprintf("disagg-%dp%dd", depthP, depthD),
+		RuntimeName:     cfg.Runtime.Name,
+		Requests:        r.totalRequests,
+		Report:          r.collector.Report(makespan),
+		Collector:       &r.collector,
+		Preemptions:     r.prefill.pool.Preemptions() + r.decode.pool.Preemptions(),
+		Injections:      r.injections,
+		Makespan:        makespan,
+		KVTransfers:     r.transfers,
+		KVTransferBytes: r.transferBytes,
 	}
 	if makespan > 0 {
 		var busy time.Duration
@@ -178,7 +191,17 @@ func (r *disaggRun) tryInject(rep *replica) {
 		return
 	}
 	for rep.inFlight < len(rep.stages) {
+		if rep.obs != nil {
+			rep.obs.BeforeSchedule(r.eng.Now())
+		}
 		b := rep.sched.Schedule(rep.pool, r.eng.Now())
+		if rep.obs != nil {
+			rep.obs.AfterSchedule(b, r.eng.Now())
+			if err := rep.obs.Err(); err != nil {
+				r.aborted = err
+				return
+			}
+		}
 		if b.Empty() {
 			return
 		}
@@ -213,6 +236,9 @@ func replicaHop(rep *replica, r *disaggRun, i int) int {
 }
 
 func (r *disaggRun) completeBatch(rep *replica, b *sched.Batch) {
+	if r.aborted != nil {
+		return
+	}
 	finished := rep.pool.Complete(b, r.eng.Now())
 	for _, f := range finished {
 		r.collector.Observe(f)
@@ -229,6 +255,11 @@ func (r *disaggRun) completeBatch(rep *replica, b *sched.Batch) {
 				continue
 			}
 			rep.pool.ReleaseDecoding(req)
+			if rep.obs != nil {
+				// The released sequence's blocks stay resident on the
+				// prefill side until the transfer lands.
+				markExternal(rep.obs, kvcache.SeqID(req.ID))
+			}
 			kvBytes := int64(req.ContextLen()) * r.cfg.Model.KVBytesPerToken()
 			// The hand-off crosses the boundary hop between the replicas.
 			xfer := r.cfg.Topo.Hop(r.cfg.PrefillGPUs - 1).TransferTime(kvBytes)
@@ -236,11 +267,21 @@ func (r *disaggRun) completeBatch(rep *replica, b *sched.Batch) {
 			r.transferBytes += kvBytes
 			r.eng.After(xfer, func() {
 				r.prefill.pool.KV.Free(kvcache.SeqID(req.ID))
+				if r.prefill.obs != nil {
+					unmarkExternal(r.prefill.obs, kvcache.SeqID(req.ID))
+				}
 				r.staging = append(r.staging, req)
 				r.drainStaging()
 				r.tryInject(r.prefill)
 				r.tryInject(r.decode)
 			})
+		}
+	}
+	if rep.obs != nil {
+		rep.obs.AfterComplete(b, finished, r.eng.Now())
+		if err := rep.obs.Err(); err != nil {
+			r.aborted = err
+			return
 		}
 	}
 	r.drainStaging()

@@ -123,3 +123,39 @@ func TestDisaggregatedErrors(t *testing.T) {
 		t.Fatal("100B single-GPU prefill replica accepted")
 	}
 }
+
+// TestDisaggregatedTransferAccounting: with uniform multi-token outputs and
+// no preemption pressure, every request migrates exactly once, and the
+// transferred bytes are exactly its post-prefill context (prompt + first
+// token) at the model's per-token KV footprint.
+func TestDisaggregatedTransferAccounting(t *testing.T) {
+	const (
+		n      = 12
+		prompt = 48
+		out    = 6
+	)
+	items := workload.Uniform(n, prompt, out, 400*time.Millisecond)
+	res, err := RunDisaggregated(disaggConfig(2), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KVTransfers != n {
+		t.Fatalf("KV transfers = %d, want one per request (%d)", res.KVTransfers, n)
+	}
+	want := int64(n) * int64(prompt+1) * model.Qwen25_14B.KVBytesPerToken()
+	if res.KVTransferBytes != want {
+		t.Fatalf("KV transfer bytes = %d, want %d", res.KVTransferBytes, want)
+	}
+
+	// A single-token output finishes at prefill completion and must not
+	// migrate at all.
+	oneShot := workload.Uniform(4, prompt, 1, 400*time.Millisecond)
+	res2, err := RunDisaggregated(disaggConfig(2), oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.KVTransfers != 0 || res2.KVTransferBytes != 0 {
+		t.Fatalf("one-token outputs migrated: transfers=%d bytes=%d",
+			res2.KVTransfers, res2.KVTransferBytes)
+	}
+}

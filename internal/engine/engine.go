@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gllm/internal/gpu"
+	"gllm/internal/kvcache"
 	"gllm/internal/metrics"
 	"gllm/internal/model"
 	"gllm/internal/network"
@@ -21,6 +22,43 @@ import (
 	"gllm/internal/trace"
 	"gllm/internal/workload"
 )
+
+// BatchObserver receives the engine's scheduling-loop callbacks, one
+// observer per scheduler pool. Engines call BeforeSchedule immediately
+// before every Scheduler.Schedule, AfterSchedule immediately after it (also
+// for empty batches), AfterComplete after Pool.Complete retires a batch
+// (for the disaggregated engine: after the prefill→decode migration of that
+// batch's requests), and Final once the event loop drains. A non-nil Err at
+// any hook boundary aborts the run with that error. The canonical
+// implementation is internal/invariant's Checker.
+type BatchObserver interface {
+	BeforeSchedule(now time.Duration)
+	AfterSchedule(b *sched.Batch, now time.Duration)
+	AfterComplete(b *sched.Batch, finished []*request.Request, now time.Duration)
+	Final(now time.Duration) error
+	Err() error
+}
+
+// SeqObserver is optionally implemented by a BatchObserver that audits KV
+// residency. MarkExternal declares that a sequence's blocks legitimately
+// outlive its pool membership (a disaggregated KV hand-off in flight);
+// UnmarkExternal retires the exemption once the owning pool frees them.
+type SeqObserver interface {
+	MarkExternal(id kvcache.SeqID)
+	UnmarkExternal(id kvcache.SeqID)
+}
+
+func markExternal(obs BatchObserver, id kvcache.SeqID) {
+	if so, ok := obs.(SeqObserver); ok {
+		so.MarkExternal(id)
+	}
+}
+
+func unmarkExternal(obs BatchObserver, id kvcache.SeqID) {
+	if so, ok := obs.(SeqObserver); ok {
+		so.UnmarkExternal(id)
+	}
+}
 
 // RuntimeModel prices the control-plane (CPU) work of a serving runtime:
 // input preparation, metadata handling and sampling around each
@@ -109,6 +147,12 @@ type Config struct {
 	// other, trading per-chunk latency overlap for TTFT (off by default).
 	EnableCPP bool
 
+	// Observer, when set, is invoked once per scheduler pool at engine
+	// start; the returned observer is then driven through the run's
+	// scheduling loop (invariant checking — see internal/invariant). The
+	// disaggregated engine builds one observer per replica.
+	Observer func(p *sched.Pool, s sched.Scheduler) BatchObserver
+
 	// EnableTrace records per-stage spans (Chrome-trace exportable).
 	EnableTrace bool
 	// UtilSampleEvery, when positive, samples per-stage utilization on that
@@ -181,6 +225,10 @@ type Result struct {
 	BubbleFraction float64
 	// KVCapacityTokens is the derived cluster KV capacity.
 	KVCapacityTokens int64
+	// KVTransfers / KVTransferBytes count prefill→decode KV-cache
+	// migrations (disaggregated engine only; zero elsewhere).
+	KVTransfers     int
+	KVTransferBytes int64
 }
 
 // TokensPerIteration returns the per-iteration total batched token counts.

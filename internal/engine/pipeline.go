@@ -21,6 +21,7 @@ type pipelineRun struct {
 	eng         *sim.Engine
 	cost        gpu.CostModel
 	pool        *sched.Pool
+	obs         BatchObserver
 	stages      []*sim.Resource
 	stageLayers []int
 	driverCPU   *sim.Resource
@@ -99,6 +100,9 @@ func RunPipeline(cfg Config, items []workload.Item) (*Result, error) {
 
 	r.pool.EnablePrefixCache = cfg.EnablePrefixCache
 	r.pool.AllowPipelinedChunks = cfg.EnableCPP
+	if cfg.Observer != nil {
+		r.obs = cfg.Observer(r.pool, cfg.Scheduler)
+	}
 	for i, it := range items {
 		id := int64(i)
 		item := it
@@ -117,6 +121,11 @@ func RunPipeline(cfg Config, items []workload.Item) (*Result, error) {
 		return nil, fmt.Errorf("engine: only %d/%d requests finished (scheduling deadlock?)",
 			r.finishedCount, r.totalRequests)
 	}
+	if r.obs != nil {
+		if err := r.obs.Final(r.eng.Now()); err != nil {
+			return nil, err
+		}
+	}
 	return r.result(kvCap), nil
 }
 
@@ -131,7 +140,17 @@ func (r *pipelineRun) tryInject() {
 	}
 	depth := len(r.stages)
 	for r.inFlight < depth {
+		if r.obs != nil {
+			r.obs.BeforeSchedule(r.eng.Now())
+		}
 		b := r.cfg.Scheduler.Schedule(r.pool, r.eng.Now())
+		if r.obs != nil {
+			r.obs.AfterSchedule(b, r.eng.Now())
+			if err := r.obs.Err(); err != nil {
+				r.aborted = err
+				return
+			}
+		}
 		if b.Empty() {
 			return
 		}
@@ -176,6 +195,9 @@ func (r *pipelineRun) startStage(i int, fb *inFlightBatch) {
 // completeBatch retires a batch at the last stage: tokens are committed,
 // finished requests observed, and the freed slot refilled.
 func (r *pipelineRun) completeBatch(fb *inFlightBatch) {
+	if r.aborted != nil {
+		return
+	}
 	finished := r.pool.Complete(fb.batch, r.eng.Now())
 	for _, f := range finished {
 		r.collector.Observe(f)
@@ -183,6 +205,13 @@ func (r *pipelineRun) completeBatch(fb *inFlightBatch) {
 		r.lastFinish = r.eng.Now()
 	}
 	r.inFlight--
+	if r.obs != nil {
+		r.obs.AfterComplete(fb.batch, finished, r.eng.Now())
+		if err := r.obs.Err(); err != nil {
+			r.aborted = err
+			return
+		}
+	}
 	r.tryInject()
 }
 

@@ -21,6 +21,7 @@ type tensorRun struct {
 	eng       *sim.Engine
 	cost      gpu.CostModel
 	pool      *sched.Pool
+	obs       BatchObserver
 	device    *sim.Resource
 	driverCPU *sim.Resource
 
@@ -68,6 +69,9 @@ func RunTensor(cfg Config, items []workload.Item) (*Result, error) {
 
 	r.pool.EnablePrefixCache = cfg.EnablePrefixCache
 	r.pool.AllowPipelinedChunks = cfg.EnableCPP
+	if cfg.Observer != nil {
+		r.obs = cfg.Observer(r.pool, cfg.Scheduler)
+	}
 	for i, it := range items {
 		id := int64(i)
 		item := it
@@ -85,6 +89,11 @@ func RunTensor(cfg Config, items []workload.Item) (*Result, error) {
 	if r.finishedCount != r.totalRequests {
 		return nil, fmt.Errorf("engine: only %d/%d requests finished (scheduling deadlock?)",
 			r.finishedCount, r.totalRequests)
+	}
+	if r.obs != nil {
+		if err := r.obs.Final(r.eng.Now()); err != nil {
+			return nil, err
+		}
 	}
 
 	makespan := r.lastFinish
@@ -124,7 +133,17 @@ func (r *tensorRun) tryInject() {
 		r.aborted = fmt.Errorf("engine: exceeded MaxVirtualTime %v (deadlock or overload)", r.cfg.MaxVirtualTime)
 		return
 	}
+	if r.obs != nil {
+		r.obs.BeforeSchedule(r.eng.Now())
+	}
 	b := r.cfg.Scheduler.Schedule(r.pool, r.eng.Now())
+	if r.obs != nil {
+		r.obs.AfterSchedule(b, r.eng.Now())
+		if err := r.obs.Err(); err != nil {
+			r.aborted = err
+			return
+		}
+	}
 	if b.Empty() {
 		return
 	}
@@ -139,6 +158,9 @@ func (r *tensorRun) tryInject() {
 	iter := tensorIterationTime(r.cost, r.cfg.Topo, shape)
 	run := func() {
 		r.device.Submit(iter, func() {
+			if r.aborted != nil {
+				return
+			}
 			finished := r.pool.Complete(b, r.eng.Now())
 			for _, f := range finished {
 				r.collector.Observe(f)
@@ -146,6 +168,13 @@ func (r *tensorRun) tryInject() {
 				r.lastFinish = r.eng.Now()
 			}
 			r.running = false
+			if r.obs != nil {
+				r.obs.AfterComplete(b, finished, r.eng.Now())
+				if err := r.obs.Err(); err != nil {
+					r.aborted = err
+					return
+				}
+			}
 			r.tryInject()
 		})
 	}

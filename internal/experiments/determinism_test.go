@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"gllm/internal/model"
+	"gllm/internal/workload"
+)
+
+// TestSweepCSVGoldenAcrossWorkerCounts promotes the byte-identical-CSV
+// claim from a manual check to a regression test: two full sweeps of the
+// same grid, same seed, at different -parallel worker counts must render
+// the exact same CSV bytes. Any nondeterminism anywhere in the stack —
+// map iteration in a scheduler, a racy trace cache, float accumulation
+// order in the metrics — shows up here as a byte diff.
+func TestSweepCSVGoldenAcrossWorkerCounts(t *testing.T) {
+	cluster := IntraNodeL20(model.Qwen25_14B)
+	rates := []float64{1, 4}
+
+	run := func(workers int) []Sweep {
+		t.Helper()
+		sc := QuickScale()
+		sc.Workers = workers
+		sweeps, err := LatencyThroughput(cluster, workload.ShareGPT, MainSystems(), rates, sc, SLOShareGPT)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sweeps
+	}
+
+	base := run(1)
+	baseCSV := SweepsCSV(base)
+	if baseCSV == "" {
+		t.Fatal("baseline sweep rendered an empty CSV")
+	}
+	for _, workers := range []int{2, 7} {
+		got := run(workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: sweep results diverge from workers=1", workers)
+		}
+		if csv := SweepsCSV(got); csv != baseCSV {
+			t.Errorf("workers=%d: CSV bytes diverge from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+				workers, baseCSV, workers, csv)
+		}
+	}
+}
+
+// TestSweepCSVGoldenRepeatedRun: re-running the identical configuration in
+// the same process (warm trace cache) must also be byte-identical — the
+// cache returning a mutated or aliased trace would break this.
+func TestSweepCSVGoldenRepeatedRun(t *testing.T) {
+	cluster := IntraNodeL20(model.Qwen25_14B)
+	rates := []float64{2}
+	sc := QuickScale()
+	sc.Workers = 4
+
+	var csvs [2]string
+	for i := range csvs {
+		sweeps, err := LatencyThroughput(cluster, workload.ShareGPT, MainSystems(), rates, sc, SLOShareGPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs[i] = SweepsCSV(sweeps)
+	}
+	if csvs[0] != csvs[1] {
+		t.Fatalf("repeated run diverged:\n--- first\n%s\n--- second\n%s", csvs[0], csvs[1])
+	}
+}

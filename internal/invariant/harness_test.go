@@ -1,0 +1,72 @@
+package invariant
+
+import (
+	"testing"
+
+	"gllm/internal/stats"
+)
+
+// TestSweepAllCombosClean drives the full scheduler × engine cross under
+// randomized bursty load: zero violations expected everywhere.
+func TestSweepAllCombosClean(t *testing.T) {
+	rep := Run(HarnessConfig{Seed: 1, Requests: 150})
+	if rep.Combos == 0 || rep.Cycles == 0 {
+		t.Fatalf("sweep audited nothing: %d combos, %d cycles", rep.Combos, rep.Cycles)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("%v: %v (reproducer: %d requests)", f.Combo, f.Err, len(f.Reproducer))
+	}
+}
+
+// TestSweepWithCPPAndPrefixCacheClean re-runs the sweep with chunked
+// pipeline parallelism and prefix caching enabled — the two optional pool
+// modes with their own accounting paths.
+func TestSweepWithCPPAndPrefixCacheClean(t *testing.T) {
+	rep := Run(HarnessConfig{
+		Seed:        2,
+		Requests:    100,
+		CPP:         true,
+		PrefixCache: true,
+	})
+	for _, f := range rep.Failures {
+		t.Errorf("%v: %v (reproducer: %d requests)", f.Combo, f.Err, len(f.Reproducer))
+	}
+}
+
+// TestTenThousandRequestAcceptance is the issue's acceptance bar: the
+// unmodified throttle, sarathi and cost-aware schedulers each serve a
+// 10k-request randomized workload under invariant checking with zero
+// violations.
+func TestTenThousandRequestAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-request acceptance run skipped in -short mode")
+	}
+	const n = 10000
+	for i, name := range []string{"gllm", "sarathi", "gllm-cost"} {
+		items := Workload(stats.NewRNG(uint64(100+i)), n, 96, 48)
+		combo := Combo{Engine: "pipeline", Scheduler: name}
+		cycles, err := RunCombo(combo, items, Options{})
+		if err != nil {
+			t.Fatalf("%v over %d requests: %v", combo, n, err)
+		}
+		if cycles == 0 {
+			t.Fatalf("%v audited zero cycles", combo)
+		}
+		t.Logf("%v: %d requests, %d audited cycles, zero violations", combo, n, cycles)
+	}
+}
+
+// TestWorkloadDeterministic: the same seed yields the same trace (the whole
+// harness depends on it).
+func TestWorkloadDeterministic(t *testing.T) {
+	a := Workload(stats.NewRNG(7), 50, 96, 48)
+	b := Workload(stats.NewRNG(7), 50, 96, 48)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gllm/internal/core"
+	"gllm/internal/kvcache"
+	"gllm/internal/request"
+	"gllm/internal/sched"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+// The mutation self-tests prove the detector detects: each double plants
+// one specific scheduler bug, and the harness must flag exactly that
+// invariant on an ordinary randomized workload.
+
+// overBudget builds legal Sarathi batches under a large budget while
+// declaring a much smaller bound — the shape of a scheduler whose actual
+// batches drift above its advertised budget.
+type overBudget struct {
+	inner    *sched.Sarathi
+	declared int
+}
+
+func (o *overBudget) Name() string { return "mutant-over-budget" }
+func (o *overBudget) Schedule(p *sched.Pool, now time.Duration) *sched.Batch {
+	return o.inner.Schedule(p, now)
+}
+func (o *overBudget) BatchTokenBound(core.State) int { return o.declared }
+
+// kvLeaker schedules legally but allocates KV blocks to a sequence no
+// request owns — a leaked block.
+type kvLeaker struct {
+	inner  *sched.Sarathi
+	calls  int
+	leakAt int
+}
+
+func (l *kvLeaker) Name() string { return "mutant-kv-leak" }
+func (l *kvLeaker) Schedule(p *sched.Pool, now time.Duration) *sched.Batch {
+	b := l.inner.Schedule(p, now)
+	if l.calls == l.leakAt {
+		if err := p.KV.Allocate(kvcache.SeqID(1<<40), p.KV.BlockSize()); err != nil {
+			panic(err)
+		}
+	}
+	l.calls++
+	return b
+}
+
+// fifoBreaker claims FIFO prefill admission but serves the second eligible
+// waiting request, skipping the queue head.
+type fifoBreaker struct{}
+
+func (fifoBreaker) Name() string      { return "mutant-fifo" }
+func (fifoBreaker) PrefillFIFO() bool { return true }
+func (fifoBreaker) Schedule(p *sched.Pool, now time.Duration) *sched.Batch {
+	b := &sched.Batch{}
+	for _, r := range p.Decoding() {
+		if r.State() != request.StateDecoding || r.DecodeBusy() {
+			continue
+		}
+		id := kvcache.SeqID(r.ID)
+		if !p.KV.CanAllocate(id, 1) {
+			continue
+		}
+		if err := p.KV.Allocate(id, 1); err != nil {
+			panic(err)
+		}
+		r.ScheduleDecode()
+		b.Decodes = append(b.Decodes, r)
+	}
+	var eligible []*request.Request
+	for _, r := range p.PrefillQueue() {
+		if (r.State() == request.StateWaiting || r.State() == request.StatePrefilling) &&
+			r.RemainingPrefill() > 0 && r.InFlightChunks() == 0 {
+			eligible = append(eligible, r)
+		}
+	}
+	pick := -1
+	switch {
+	case len(eligible) >= 2:
+		pick = 1 // skip the head: the planted bug
+	case len(eligible) == 1:
+		pick = 0
+	}
+	if pick >= 0 {
+		r := eligible[pick]
+		chunk := r.RemainingPrefill()
+		if chunk > 64 {
+			chunk = 64
+		}
+		id := kvcache.SeqID(r.ID)
+		for chunk > 0 && !p.KV.CanAllocate(id, chunk) {
+			chunk /= 2
+		}
+		if chunk > 0 {
+			ctx := r.PrefillDone() + r.InFlightPrefill()
+			if err := p.KV.Allocate(id, chunk); err != nil {
+				panic(err)
+			}
+			r.ScheduleChunk(chunk, now)
+			b.Chunks = append(b.Chunks, sched.Chunk{Req: r, Tokens: chunk, CtxStart: ctx})
+		}
+	}
+	return b
+}
+
+func runMutant(t *testing.T, mk func() sched.Scheduler, seed uint64) error {
+	t.Helper()
+	items := Workload(stats.NewRNG(seed), 120, 96, 48)
+	_, err := RunCombo(Combo{Engine: "pipeline", Make: mk}, items, Options{})
+	return err
+}
+
+func wantViolation(t *testing.T, err error, invariant string) Violation {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("mutant escaped: no violation reported, want %s", invariant)
+	}
+	var v Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("mutant failed with a non-violation error: %v", err)
+	}
+	if v.Invariant != invariant {
+		t.Fatalf("mutant flagged as %s (%s), want %s", v.Invariant, v.Detail, invariant)
+	}
+	return v
+}
+
+func TestMutationOverBudgetDetected(t *testing.T) {
+	err := runMutant(t, func() sched.Scheduler {
+		return &overBudget{inner: sched.NewSarathi(256), declared: 64}
+	}, 11)
+	wantViolation(t, err, InvBatchBudget)
+}
+
+func TestMutationKVLeakDetected(t *testing.T) {
+	err := runMutant(t, func() sched.Scheduler {
+		return &kvLeaker{inner: sched.NewSarathi(256), leakAt: 3}
+	}, 12)
+	wantViolation(t, err, InvKVOwnership)
+}
+
+func TestMutationFIFOReorderDetected(t *testing.T) {
+	err := runMutant(t, func() sched.Scheduler { return fifoBreaker{} }, 13)
+	wantViolation(t, err, InvPrefillFIFO)
+}
+
+// TestShrinkMinimizesMutantTrace: the FIFO mutant's 120-request failing
+// trace shrinks to a handful of requests that still reproduce it.
+func TestShrinkMinimizesMutantTrace(t *testing.T) {
+	combo := Combo{Engine: "pipeline", Make: func() sched.Scheduler { return fifoBreaker{} }}
+	items := Workload(stats.NewRNG(13), 120, 96, 48)
+	_, orig := RunCombo(combo, items, Options{})
+	wantViolation(t, orig, InvPrefillFIFO)
+
+	min := Shrink(items, func(cand []workload.Item) bool {
+		_, err := RunCombo(combo, cand, Options{})
+		return sameFailure(orig, err)
+	})
+	if _, err := RunCombo(combo, min, Options{}); err == nil {
+		t.Fatalf("shrunken trace of %d requests no longer reproduces", len(min))
+	}
+	if len(min) >= len(items) {
+		t.Fatalf("shrink made no progress: %d -> %d requests", len(items), len(min))
+	}
+	if len(min) > 8 {
+		t.Errorf("reproducer larger than expected: %d requests (the bug needs only 2)", len(min))
+	}
+	t.Logf("shrunk %d -> %d requests: %+v", len(items), len(min), min)
+}

@@ -1,0 +1,94 @@
+package invariant
+
+import "gllm/internal/workload"
+
+// shrinkBudget caps predicate invocations per Shrink call: each probe is a
+// full simulated run, and minimality matters less than a bounded bill.
+const shrinkBudget = 400
+
+// Shrink greedily minimizes a failing workload trace: ddmin-style chunk
+// removal over the request list, then per-request prompt/output halving and
+// an arrival collapse. fails must report whether a candidate trace still
+// reproduces the failure; it is never called with an empty trace. The
+// result always fails (it is items itself in the worst case).
+func Shrink(items []workload.Item, fails func([]workload.Item) bool) []workload.Item {
+	cur := clone(items)
+	budget := shrinkBudget
+	try := func(cand []workload.Item) bool {
+		if budget <= 0 || len(cand) == 0 {
+			return false
+		}
+		budget--
+		return fails(cand)
+	}
+
+	// ddmin: remove chunks of shrinking granularity.
+	n := 2
+	for len(cur) > 1 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := append(clone(cur[:start]), cur[end:]...)
+			if try(cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			if n > 2 {
+				n--
+			}
+			continue
+		}
+		if n >= len(cur) || budget <= 0 {
+			break
+		}
+		n *= 2
+		if n > len(cur) {
+			n = len(cur)
+		}
+	}
+
+	// Halve prompt/output lengths per surviving request.
+	for i := range cur {
+		for cur[i].PromptLen > 1 {
+			cand := clone(cur)
+			cand[i].PromptLen /= 2
+			if !try(cand) {
+				break
+			}
+			cur = cand
+		}
+		for cur[i].OutputLen > 1 {
+			cand := clone(cur)
+			cand[i].OutputLen /= 2
+			if !try(cand) {
+				break
+			}
+			cur = cand
+		}
+	}
+
+	// Collapse all arrivals to time zero (one burst) if that still fails.
+	collapsed := clone(cur)
+	allZero := true
+	for i := range collapsed {
+		if collapsed[i].Arrival != 0 {
+			collapsed[i].Arrival = 0
+			allZero = false
+		}
+	}
+	if !allZero && try(collapsed) {
+		cur = collapsed
+	}
+	return cur
+}
+
+func clone(items []workload.Item) []workload.Item {
+	return append([]workload.Item(nil), items...)
+}

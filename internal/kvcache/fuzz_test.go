@@ -1,0 +1,80 @@
+package kvcache
+
+import (
+	"testing"
+)
+
+// FuzzKVAllocFree drives random Allocate/Free/CanAllocate sequences against
+// a shadow token ledger and Verify. Each byte pair is one operation:
+// the first byte selects op and sequence, the second sizes the request.
+// Invariants after every op: Verify passes, every sequence's TokensOf
+// matches the ledger, block usage matches the ledger exactly and never
+// exceeds TotalBlocks, and CanAllocate's verdict agrees with Allocate's
+// outcome.
+func FuzzKVAllocFree(f *testing.F) {
+	f.Add([]byte("A2B3A5C1D4"))                 // two seqs allocated, queried, grown
+	f.Add([]byte("A9E0B9F0A1B1"))               // alloc/free churn on both seqs
+	f.Add([]byte("AZAZAZAZBZBZ"))               // drive the cache to exhaustion
+	f.Add([]byte("IzJzK0L0E1F1I1"))             // exhaustion then free then re-alloc
+	f.Add([]byte{0x00, 0xff, 0x80, 0x10, 0x41}) // non-ASCII ops + trailing odd byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			capTokens = 256
+			blockSize = 8
+		)
+		m := New(capTokens, blockSize)
+		ledger := make(map[SeqID]int)
+		blocksFor := func(tok int) int { return (tok + blockSize - 1) / blockSize }
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op := int(data[i])
+			id := SeqID(op / 4 % 6)
+			arg := 1 + int(data[i+1])%(2*blockSize) // 1..16 tokens
+			switch op % 4 {
+			case 0, 3: // allocate (two opcodes: growth twice as likely)
+				can := m.CanAllocate(id, arg)
+				err := m.Allocate(id, arg)
+				if can && err != nil {
+					t.Fatalf("op %d: CanAllocate(%d,%d) said yes, Allocate failed: %v", i, id, arg, err)
+				}
+				if !can && err == nil {
+					t.Fatalf("op %d: CanAllocate(%d,%d) said no, Allocate succeeded", i, id, arg)
+				}
+				if err == nil {
+					ledger[id] += arg
+				}
+			case 1: // free (absent sequences must be a no-op)
+				m.Free(id)
+				delete(ledger, id)
+			case 2: // pure queries must not disturb state
+				_ = m.CanAllocate(id, arg)
+				if need := m.BlocksNeeded(id, arg); need < 0 || need > blocksFor(arg)+1 {
+					t.Fatalf("op %d: BlocksNeeded(%d,%d) = %d", i, id, arg, need)
+				}
+			}
+
+			if err := m.Verify(); err != nil {
+				t.Fatalf("op %d: Verify: %v", i, err)
+			}
+			wantBlocks := 0
+			for sid, tok := range ledger {
+				if got := m.TokensOf(sid); got != tok {
+					t.Fatalf("op %d: seq %d holds %d tokens, ledger says %d", i, sid, got, tok)
+				}
+				if !m.Has(sid) {
+					t.Fatalf("op %d: seq %d in ledger but not in manager", i, sid)
+				}
+				wantBlocks += blocksFor(tok)
+			}
+			if got := len(m.Sequences()); got != len(ledger) {
+				t.Fatalf("op %d: manager tracks %d sequences, ledger %d", i, got, len(ledger))
+			}
+			if used := m.UsedBlocks(); used != wantBlocks {
+				t.Fatalf("op %d: %d blocks used, ledger implies %d", i, used, wantBlocks)
+			}
+			if used, total := m.UsedBlocks(), m.TotalBlocks(); used < 0 || used > total {
+				t.Fatalf("op %d: used blocks %d outside [0,%d]", i, used, total)
+			}
+		}
+	})
+}

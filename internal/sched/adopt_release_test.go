@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"gllm/internal/kvcache"
+	"gllm/internal/request"
+)
+
+// driveToDecoding runs Sarathi schedule/complete cycles until r is decoding
+// (prefill done, first token emitted).
+func driveToDecoding(t *testing.T, p *Pool, s Scheduler, r *request.Request) {
+	t.Helper()
+	now := time.Duration(0)
+	for i := 0; i < 50 && r.State() != request.StateDecoding; i++ {
+		b := s.Schedule(p, now)
+		if b.Empty() {
+			t.Fatalf("scheduler stalled before %v reached decode", r)
+		}
+		now += time.Millisecond
+		p.Complete(b, now)
+	}
+	if r.State() != request.StateDecoding {
+		t.Fatalf("request never reached decode: %v", r)
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestReleaseAdoptMigration walks the disaggregation hand-off: a request
+// decodes on pool A, is released (KV intact), its context is allocated on
+// pool B, adopted there, and finishes there — with both caches clean at
+// the end.
+func TestReleaseAdoptMigration(t *testing.T) {
+	a := NewPool(kvcache.New(1<<12, 16), 2)
+	b := NewPool(kvcache.New(1<<12, 16), 2)
+	s := NewSarathi(256)
+	r := request.New(7, 0, 40, 3)
+	a.Add(r)
+	driveToDecoding(t, a, s, r)
+	id := kvcache.SeqID(r.ID)
+	ctx := r.ContextLen()
+
+	a.ReleaseDecoding(r)
+	if a.RunningDecode() != 0 || !a.Idle() {
+		t.Fatalf("release left pool A non-idle: decode=%d", a.RunningDecode())
+	}
+	if !a.KV.Has(id) {
+		t.Fatal("release freed the source KV; migration needs it for the transfer")
+	}
+
+	// Destination allocates the full context, adopts, then the source frees.
+	if err := b.KV.Allocate(id, ctx); err != nil {
+		t.Fatal(err)
+	}
+	b.AdoptDecoding(r)
+	a.KV.Free(id)
+	if a.KV.Has(id) || a.KV.UsedBlocks() != 0 {
+		t.Fatalf("source KV not clean after transfer: used=%d", a.KV.UsedBlocks())
+	}
+	if b.RunningDecode() != 1 {
+		t.Fatalf("pool B decode count = %d, want 1", b.RunningDecode())
+	}
+
+	// Finish the request on B.
+	now := time.Second
+	for i := 0; i < 20 && !r.Finished(); i++ {
+		batch := s.Schedule(b, now)
+		if batch.Empty() {
+			t.Fatalf("pool B stalled with adopted request: %v", r)
+		}
+		now += time.Millisecond
+		b.Complete(batch, now)
+	}
+	if !r.Finished() {
+		t.Fatalf("adopted request never finished: %v", r)
+	}
+	if b.KV.Has(id) || b.KV.UsedBlocks() != 0 {
+		t.Fatalf("destination KV leaked after finish: used=%d", b.KV.UsedBlocks())
+	}
+	if err := a.KV.Verify(); err != nil {
+		t.Errorf("pool A cache: %v", err)
+	}
+	if err := b.KV.Verify(); err != nil {
+		t.Errorf("pool B cache: %v", err)
+	}
+}
+
+func TestReleaseAdoptPanics(t *testing.T) {
+	p := NewPool(kvcache.New(1<<12, 16), 2)
+	s := NewSarathi(256)
+
+	waiting := request.New(0, 0, 30, 4)
+	p.Add(waiting)
+	mustPanic(t, "ReleaseDecoding(waiting)", func() { p.ReleaseDecoding(waiting) })
+	mustPanic(t, "AdoptDecoding(waiting)", func() { p.AdoptDecoding(waiting) })
+
+	driveToDecoding(t, p, s, waiting)
+	id := kvcache.SeqID(waiting.ID)
+
+	// A busy decode (in-flight step) may be neither released nor adopted.
+	if err := p.KV.Allocate(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	waiting.ScheduleDecode()
+	mustPanic(t, "ReleaseDecoding(busy)", func() { p.ReleaseDecoding(waiting) })
+	mustPanic(t, "AdoptDecoding(busy)", func() { p.AdoptDecoding(waiting) })
+	waiting.CompleteDecode(time.Second)
+
+	// Adopting without KV residency in the destination pool panics.
+	other := NewPool(kvcache.New(1<<12, 16), 2)
+	p.ReleaseDecoding(waiting)
+	mustPanic(t, "AdoptDecoding(no KV)", func() { other.AdoptDecoding(waiting) })
+}
+
+// TestVirtualEnginesAssignmentGC: the request->engine map must not grow
+// without bound as requests finish; the GC sweep inside Schedule prunes
+// finished entries once the map outgrows the live set.
+func TestVirtualEnginesAssignmentGC(t *testing.T) {
+	p := NewPool(kvcache.New(1<<14, 16), 2)
+	v := NewVirtualEngines(512, 4)
+	now := time.Duration(0)
+	// Finish enough tiny requests to trip the GC threshold
+	// (4*(queue+decode)+64 with an empty pool means >64 dead entries).
+	for i := 0; i < 80; i++ {
+		r := request.New(int64(i), 0, 8, 1)
+		p.Add(r)
+		for j := 0; j < 10 && !r.Finished(); j++ {
+			b := v.Schedule(p, now)
+			if b.Empty() {
+				t.Fatalf("virtual engines stalled on request %d", i)
+			}
+			now += time.Millisecond
+			p.Complete(b, now)
+		}
+		if !r.Finished() {
+			t.Fatalf("request %d never finished", i)
+		}
+	}
+	// One more admission: the map must stay bounded by the GC threshold
+	// (4*live+64 with ~1 live request), not hold all 81 requests ever seen.
+	last := request.New(1000, 0, 8, 1)
+	p.Add(last)
+	v.Schedule(p, now)
+	if got := len(v.assignment); got > 4*2+64 {
+		t.Fatalf("assignment map holds %d entries; GC never pruned finished requests", got)
+	}
+	if got := len(v.assignment); got >= 81 {
+		t.Fatalf("assignment map retained every request ever admitted (%d)", got)
+	}
+}
+
+// TestVirtualEnginesRotationSkipsIdle: with a single assigned request and
+// four engines, every Schedule call must produce work — an idle virtual
+// engine's turn may not emit an empty batch while another engine has work.
+func TestVirtualEnginesRotationSkipsIdle(t *testing.T) {
+	p := NewPool(kvcache.New(1<<12, 16), 2)
+	v := NewVirtualEngines(256, 4)
+	r := request.New(0, 0, 20, 4)
+	p.Add(r)
+	now := time.Duration(0)
+	for i := 0; i < 20 && !r.Finished(); i++ {
+		b := v.Schedule(p, now)
+		if b.Empty() {
+			t.Fatalf("iteration %d: empty batch while %v still has work", i, r)
+		}
+		now += time.Millisecond
+		p.Complete(b, now)
+	}
+	if !r.Finished() {
+		t.Fatalf("request starved under rotation: %v", r)
+	}
+}
