@@ -13,7 +13,7 @@ tier1:
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/...
 
 # -run='^$$' skips the regular tests so only the fuzz engine runs.
 fuzz-smoke:

@@ -105,6 +105,10 @@ func run(host string, port int, modelName, datasetName, datasetPath, azureCSV st
 		fmt.Fprintln(os.Stderr, "  error:", e)
 	}
 	fmt.Print(res.Report.String())
+	if res.Rejected > 0 {
+		// Server-side admission control (HTTP 429): shed load, not failures.
+		fmt.Printf("  rejected=%d (server backpressure)\n", res.Rejected)
+	}
 
 	if goodput != "" {
 		ttft, tpot, err := parseGoodput(goodput)

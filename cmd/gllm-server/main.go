@@ -46,11 +46,23 @@ func main() {
 		syncRuntime = flag.Bool("sync-runtime", false, "use the coupled (vLLM-like) runtime instead of async")
 		enableCPP   = flag.Bool("enable-cpp", false, "pipeline prompt chunks across micro-batches")
 		prefixCache = flag.Bool("enable-prefix-cache", false, "reuse KV across requests sharing a prefix group")
+
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"graceful-shutdown drain window before in-flight requests are aborted")
+		watchdogTimeout = flag.Duration("watchdog-timeout", 30*time.Second,
+			"flag /healthz degraded when in-flight work stops retiring for this long (negative disables)")
+		admitKVFactor = flag.Float64("admit-kv-factor", 0,
+			"reject submissions (HTTP 429) when projected KV demand exceeds this multiple of KV capacity (0 = default 8, negative disables)")
+		stallStage = flag.Int("stall-stage", -1,
+			"fault injection: pipeline stage to stall (-1 disables)")
+		stallDuration = flag.Duration("stall-duration", 0,
+			"fault injection: wall-clock stall per micro-batch at -stall-stage")
 	)
 	flag.Parse()
 	if err := run(*port, *modelPath, *pp, *gpuName, *memUtil, *schedName, *naive, *budget,
 		core.Params{IterT: *iterT, MaxP: *maxP, MinP: *minP, KVThresh: *kvThresh},
-		*timeScale, *syncRuntime, *enableCPP, *prefixCache); err != nil {
+		*timeScale, *syncRuntime, *enableCPP, *prefixCache,
+		*drainTimeout, *watchdogTimeout, *admitKVFactor, *stallStage, *stallDuration); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-server:", err)
 		os.Exit(1)
 	}
@@ -58,7 +70,9 @@ func main() {
 
 func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 	schedName string, naive bool, budget int, params core.Params,
-	timeScale float64, syncRuntime, enableCPP, prefixCache bool) error {
+	timeScale float64, syncRuntime, enableCPP, prefixCache bool,
+	drainTimeout, watchdogTimeout time.Duration, admitKVFactor float64,
+	stallStage int, stallDuration time.Duration) error {
 
 	m, err := model.ByName(modelPath)
 	if err != nil {
@@ -75,6 +89,17 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 	if err != nil {
 		return err
 	}
+	var fault func(stage, seq int) time.Duration
+	if stallStage >= 0 && stallDuration > 0 {
+		fault = func(stage, seq int) time.Duration {
+			if stage == stallStage {
+				return stallDuration
+			}
+			return 0
+		}
+		fmt.Printf("gllm-server: FAULT INJECTION: stalling stage %d by %v per micro-batch\n",
+			stallStage, stallDuration)
+	}
 	rt, err := runtime.Start(runtime.Config{
 		Model:             m,
 		GPU:               g,
@@ -85,6 +110,9 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 		TimeScale:         timeScale,
 		EnableCPP:         enableCPP,
 		EnablePrefixCache: prefixCache,
+		AdmitKVFactor:     admitKVFactor,
+		WatchdogTimeout:   watchdogTimeout,
+		StageFault:        fault,
 	})
 	if err != nil {
 		return err
@@ -93,14 +121,25 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 	addr := fmt.Sprintf(":%d", port)
 	httpSrv := &http.Server{Addr: addr, Handler: server.New(rt, m.Name)}
 
-	done := make(chan os.Signal, 1)
-	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	// First signal: graceful — stop accepting connections, drain queued and
+	// in-flight generation up to -drain-timeout. Second signal: abort
+	// immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-done
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		<-sigCh
+		fmt.Fprintf(os.Stderr, "gllm-server: draining (up to %v; signal again to abort)\n", drainTimeout)
+		go func() {
+			<-sigCh
+			fmt.Fprintln(os.Stderr, "gllm-server: aborting")
+			_ = rt.Close()
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "gllm-server: drain incomplete: %v\n", err)
+		}
 		_ = httpSrv.Shutdown(ctx)
-		_ = rt.Shutdown(ctx)
 	}()
 
 	fmt.Printf("gllm-server: serving %s (pp=%d, %s scheduler, async=%v) on %s\n",

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -46,8 +47,16 @@ type Result struct {
 	Collector *metrics.Collector
 	Report    metrics.Report
 	Duration  time.Duration
-	Errors    []error
+	// Rejected counts requests the server refused with 429 (admission
+	// control / backpressure). They are expected under deliberate overload
+	// and are reported separately from Errors.
+	Rejected int
+	Errors   []error
 }
+
+// errRejected marks a 429 response so Run can count it as shed load rather
+// than a failure.
+var errRejected = fmt.Errorf("client: request rejected (429)")
 
 // Run replays the trace and blocks until every request completes or ctx is
 // cancelled.
@@ -73,6 +82,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		mu        sync.Mutex
 		collector metrics.Collector
 		errs      []error
+		rejected  int
 		wg        sync.WaitGroup
 		sem       chan struct{}
 	)
@@ -106,9 +116,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			}
 			rec, err := sendOne(ctx, httpc, opts, int64(id), item)
 			mu.Lock()
-			if err != nil {
+			switch {
+			case errors.Is(err, errRejected):
+				rejected++
+			case err != nil:
 				errs = append(errs, fmt.Errorf("request %d: %w", id, err))
-			} else {
+			default:
 				collector.Add(rec)
 			}
 			mu.Unlock()
@@ -120,6 +133,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		Collector: &collector,
 		Report:    collector.Report(dur),
 		Duration:  dur,
+		Rejected:  rejected,
 		Errors:    errs,
 	}, nil
 }
@@ -153,13 +167,26 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 		return metrics.Record{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return metrics.Record{}, errRejected
+	}
 	if resp.StatusCode != http.StatusOK {
 		return metrics.Record{}, fmt.Errorf("status %s", resp.Status)
 	}
 
+	// sseChunk is the subset of a streamed completion chunk the client
+	// inspects: the token text (empty on the synthetic abort terminator) and
+	// the finish reason.
+	type sseChunk struct {
+		Choices []struct {
+			Text         string `json:"text"`
+			FinishReason string `json:"finish_reason"`
+		} `json:"choices"`
+	}
 	var (
 		firstToken time.Time
 		tokens     int
+		finish     string
 	)
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 64*1024), 1<<20)
@@ -172,6 +199,19 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 		if payload == "[DONE]" {
 			break
 		}
+		var chunk sseChunk
+		if err := json.Unmarshal([]byte(payload), &chunk); err != nil {
+			return metrics.Record{}, fmt.Errorf("bad SSE chunk: %w", err)
+		}
+		if len(chunk.Choices) == 0 {
+			continue
+		}
+		if chunk.Choices[0].FinishReason != "" {
+			finish = chunk.Choices[0].FinishReason
+		}
+		if chunk.Choices[0].Text == "" {
+			continue // abort terminator carries a reason but no token
+		}
 		if tokens == 0 {
 			firstToken = time.Now()
 		}
@@ -181,7 +221,10 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 		return metrics.Record{}, err
 	}
 	if tokens == 0 {
-		return metrics.Record{}, fmt.Errorf("no tokens streamed")
+		return metrics.Record{}, fmt.Errorf("no tokens streamed (finish_reason %q)", finish)
+	}
+	if finish != "" && finish != "length" {
+		return metrics.Record{}, fmt.Errorf("aborted after %d tokens (finish_reason %q)", tokens, finish)
 	}
 	end := time.Now()
 	rec := metrics.Record{
@@ -191,6 +234,7 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 		E2E:          end.Sub(sent),
 		PromptTokens: item.PromptLen,
 		OutputTokens: tokens,
+		FinishReason: finish,
 	}
 	if tokens > 1 {
 		rec.TPOT = end.Sub(firstToken) / time.Duration(tokens-1)

@@ -131,6 +131,68 @@ func TestServerDownReportsErrors(t *testing.T) {
 	}
 }
 
+// 429 responses are counted as shed load (Result.Rejected), not failures,
+// and other statuses stay errors.
+func TestRejectionsCountedSeparately(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":{"message":"shed","type":"rate_limit_error"}}`, http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+
+	items := make([]workload.Item, 6)
+	for i := range items {
+		items[i] = workload.Item{PromptLen: 8, OutputLen: 2}
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:            ts.URL,
+		Items:              items,
+		UseSyntheticPrompt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3", res.Rejected)
+	}
+	if len(res.Errors) != 3 {
+		t.Fatalf("errors = %d (%v), want 3", len(res.Errors), res.Errors)
+	}
+	if res.Report.Requests != 0 {
+		t.Fatalf("finished = %d, want 0", res.Report.Requests)
+	}
+}
+
+// The client reads finish_reason from the stream: a server-side abort
+// (empty-text terminator with a non-length reason) is reported as an error,
+// not a short success.
+func TestAbortedStreamIsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		_, _ = w.Write([]byte(`data: {"choices":[{"text":"tok ","finish_reason":""}]}` + "\n\n"))
+		_, _ = w.Write([]byte(`data: {"choices":[{"text":"","finish_reason":"shutdown"}]}` + "\n\n"))
+		_, _ = w.Write([]byte("data: [DONE]\n\n"))
+	}))
+	t.Cleanup(ts.Close)
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:            ts.URL,
+		Items:              []workload.Item{{PromptLen: 8, OutputLen: 10}},
+		UseSyntheticPrompt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 1 || res.Report.Requests != 0 {
+		t.Fatalf("aborted stream not classified as error: %+v / %v", res.Report.Requests, res.Errors)
+	}
+}
+
 func TestMaxInFlightCapsConcurrency(t *testing.T) {
 	rt, err := runtime.Start(runtime.Config{
 		Model:     model.Qwen25_14B,

@@ -171,8 +171,10 @@ func (p Params) PrefillBudget(st State, v Variant) int {
 		// eq. 1 only.
 		return p.PrefillBudgetWT(st.WaitingPrefillTokens)
 	case VariantNoWT:
-		// eq. 2 with the threshold gate of §3.1.3.
-		if st.KVFreeRate < p.KVThresh {
+		// eq. 2 with the threshold gate of §3.1.3: prefill is suspended at
+		// or below the threshold (at equality the scaled term is zero, and
+		// flooring it to MinP would defeat the decode-protection gate).
+		if st.KVFreeRate <= p.KVThresh {
 			return 0
 		}
 		scaled := float64(p.MaxP) * (st.KVFreeRate - p.KVThresh) / (1 - p.KVThresh)
@@ -181,8 +183,8 @@ func (p Params) PrefillBudget(st State, v Variant) int {
 			b = p.MinP
 		}
 	case VariantFull:
-		// eq. 3.
-		if st.KVFreeRate < p.KVThresh {
+		// eq. 3, with the same at-or-below suspension gate.
+		if st.KVFreeRate <= p.KVThresh {
 			return 0
 		}
 		wt := float64(ceilDiv(st.WaitingPrefillTokens, p.IterT))

@@ -90,9 +90,15 @@ func TestPrefillBudgetFullEquation3(t *testing.T) {
 	if got := p.PrefillBudget(st(80000, 0.04, 0, 4), VariantFull); got != 0 {
 		t.Fatalf("full(kv<thresh) = %d, want 0", got)
 	}
-	// At exactly the threshold the UT term is zero, so MinP floor applies.
-	if got := p.PrefillBudget(st(80000, 0.05, 0, 4), VariantFull); got != 32 {
-		t.Fatalf("full(kv=thresh) = %d, want MinP", got)
+	// Boundary: at exactly the threshold prefill is suspended too ("at or
+	// below" — the scaled UT term is zero, not MinP).
+	if got := p.PrefillBudget(st(80000, 0.05, 0, 4), VariantFull); got != 0 {
+		t.Fatalf("full(kv=thresh) = %d, want 0", got)
+	}
+	// Just above the threshold the MinP floor applies again:
+	// 2048*(0.06-0.05)/0.95 = 21.6 -> 21 -> MinP.
+	if got := p.PrefillBudget(st(80000, 0.06, 0, 4), VariantFull); got != 32 {
+		t.Fatalf("full(kv just above thresh) = %d, want MinP", got)
 	}
 	// Nothing waiting: zero regardless of KV.
 	if got := p.PrefillBudget(st(0, 1.0, 10, 4), VariantFull); got != 0 {
@@ -122,6 +128,10 @@ func TestVariantNoWTIgnoresWaitingVolume(t *testing.T) {
 	}
 	if got := p.PrefillBudget(st(100, 0.01, 0, 4), VariantNoWT); got != 0 {
 		t.Fatalf("NoWT below threshold = %d", got)
+	}
+	// Boundary: suspended at exactly the threshold as well.
+	if got := p.PrefillBudget(st(100, 0.05, 0, 4), VariantNoWT); got != 0 {
+		t.Fatalf("NoWT at threshold = %d, want 0", got)
 	}
 }
 
@@ -214,7 +224,7 @@ func TestQuickFullBudgetMonotoneInKVFree(t *testing.T) {
 		}
 		ba := p.PrefillBudget(st(wp, a, 0, 4), VariantFull)
 		bb := p.PrefillBudget(st(wp, b, 0, 4), VariantFull)
-		if a < p.KVThresh && ba != 0 {
+		if a <= p.KVThresh && ba != 0 {
 			return false
 		}
 		return ba <= bb

@@ -21,6 +21,9 @@ type Record struct {
 	PromptTokens int
 	OutputTokens int
 	Preemptions  int
+	// FinishReason records how the request terminated ("length" for a full
+	// generation; clients may record "cancelled"/"timeout" outcomes).
+	FinishReason string
 }
 
 // Collector accumulates finished-request records.
@@ -43,6 +46,7 @@ func (c *Collector) Observe(r *request.Request) {
 		PromptTokens: r.PromptLen,
 		OutputTokens: r.Generated(),
 		Preemptions:  r.Preemptions,
+		FinishReason: "length",
 	})
 }
 

@@ -24,6 +24,9 @@ const (
 	StateDecoding
 	// StateFinished: all output tokens generated.
 	StateFinished
+	// StateAborted: cancelled, timed out, or shut down before completion;
+	// removed from the pool with its KV released. Terminal.
+	StateAborted
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +40,8 @@ func (s State) String() string {
 		return "decoding"
 	case StateFinished:
 		return "finished"
+	case StateAborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -254,6 +259,25 @@ func (r *Request) ResetPrefill() {
 	r.state = StateWaiting
 	r.Preemptions++
 }
+
+// Abort terminates the request before completion (cancellation, deadline,
+// or runtime shutdown). Only quiescent, non-terminal requests can be
+// aborted: the driver aborts at micro-batch boundaries, never while a chunk
+// or decode step is in flight (the executing batch would reference a freed
+// sequence).
+func (r *Request) Abort() {
+	if r.state == StateFinished || r.state == StateAborted {
+		panic(fmt.Sprintf("request %d: Abort in terminal state %s", r.ID, r.state))
+	}
+	if r.decodeBusy || len(r.inFlightChunks) > 0 {
+		panic(fmt.Sprintf("request %d: Abort with in-flight work (busy %v, chunks %d)",
+			r.ID, r.decodeBusy, len(r.inFlightChunks)))
+	}
+	r.state = StateAborted
+}
+
+// Aborted reports whether the request was terminated before completion.
+func (r *Request) Aborted() bool { return r.state == StateAborted }
 
 // Finished reports completion.
 func (r *Request) Finished() bool { return r.state == StateFinished }

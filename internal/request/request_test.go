@@ -455,3 +455,69 @@ func TestResetPrefillSemantics(t *testing.T) {
 	}()
 	r2.ResetPrefill()
 }
+
+func TestAbortSemantics(t *testing.T) {
+	// Waiting, mid-prefill, and quiescent decoding requests can abort.
+	w := New(1, 0, 100, 5)
+	w.Abort()
+	if !w.Aborted() || w.State().String() != "aborted" {
+		t.Fatalf("state = %s", w.State())
+	}
+
+	p := New(2, 0, 100, 5)
+	p.ScheduleChunk(60, 0)
+	p.CompleteChunk(time.Second)
+	p.Abort()
+	if !p.Aborted() {
+		t.Fatalf("state = %s", p.State())
+	}
+
+	d := New(3, 0, 10, 5)
+	d.ScheduleChunk(10, 0)
+	d.CompleteChunk(time.Second)
+	if d.State() != StateDecoding {
+		t.Fatalf("setup: %s", d.State())
+	}
+	d.Abort()
+	if !d.Aborted() {
+		t.Fatalf("state = %s", d.State())
+	}
+}
+
+func TestAbortPanics(t *testing.T) {
+	cases := []func(){
+		func() { // in-flight chunk
+			r := New(1, 0, 100, 5)
+			r.ScheduleChunk(60, 0)
+			r.Abort()
+		},
+		func() { // busy decode step
+			r := New(2, 0, 10, 5)
+			r.ScheduleChunk(10, 0)
+			r.CompleteChunk(time.Second)
+			r.ScheduleDecode()
+			r.Abort()
+		},
+		func() { // already finished
+			r := New(3, 0, 10, 1)
+			r.ScheduleChunk(10, 0)
+			r.CompleteChunk(time.Second)
+			r.Abort()
+		},
+		func() { // double abort
+			r := New(4, 0, 10, 5)
+			r.Abort()
+			r.Abort()
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

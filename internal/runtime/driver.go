@@ -12,6 +12,14 @@ import (
 // cache and the scheduler, admits requests from the frontend, injects
 // micro-batches into stage 0, and retires batches arriving from the last
 // stage — emitting token events to the submitters.
+//
+// It is also the single authority over request termination: every admitted
+// submission leaves through finishSub exactly once (normal completion,
+// cancellation, timeout, or shutdown), which closes its done and events
+// channels and releases its admission accounting. Cancellation is
+// cooperative — requests with work in an executing micro-batch are parked
+// in pendingCancels and aborted at the next batch boundary, so a freed KV
+// sequence is never referenced by in-flight compute.
 func (rt *Runtime) driverLoop() {
 	defer close(rt.stopped)
 
@@ -20,10 +28,12 @@ func (rt *Runtime) driverLoop() {
 	pool.EnablePrefixCache = rt.cfg.EnablePrefixCache
 	pool.AllowPipelinedChunks = rt.cfg.EnableCPP
 	subs := make(map[int64]*submission)
+	pendingCancels := make(map[int64]*submission)
 
 	inFlight := 0
 	iterations := 0
 	finished := 0
+	cancelled := 0
 	seq := 0
 
 	updateSnapshot := func() {
@@ -36,8 +46,52 @@ func (rt *Runtime) driverLoop() {
 			KVFreeRate:     pool.KV.FreeRate(),
 			Finished:       finished,
 			Preemptions:    pool.Preemptions(),
+			Resident:       len(subs),
+			Cancelled:      cancelled,
 		}
 		rt.mu.Unlock()
+	}
+
+	// finishSub finalizes a submission: exactly once per request, after its
+	// last event was sent. Closing done before events lets FinishReason
+	// observe the reason as soon as the channel drains.
+	finishSub := func(sub *submission, reason FinishReason) {
+		sub.reason = reason
+		close(sub.done)
+		close(sub.events)
+		delete(subs, sub.req.ID)
+		delete(pendingCancels, sub.req.ID)
+		rt.admittedKV.Add(-sub.kvDemand)
+		if reason != FinishLength {
+			cancelled++
+		}
+	}
+
+	// abortEvent terminates a request early: one synthetic, empty-Text
+	// terminal event carrying the reason, then finalization. The events
+	// buffer always has room — an unfinished request has emitted at most
+	// OutputLen-1 tokens into an OutputLen-sized buffer.
+	abortEvent := func(sub *submission, reason FinishReason) {
+		sub.events <- TokenEvent{
+			ReqID:    sub.req.ID,
+			Index:    sub.req.Generated(),
+			Finished: true,
+			Reason:   reason,
+		}
+		finishSub(sub, reason)
+	}
+
+	// abortResident removes an admitted, quiescent request from the pool,
+	// releasing its KV blocks, and terminates its handle.
+	abortResident := func(sub *submission, reason FinishReason) {
+		pool.Abort(sub.req)
+		abortEvent(sub, reason)
+	}
+
+	// quiescent reports whether the request has no work inside an executing
+	// micro-batch (the only moment it may be aborted).
+	quiescent := func(r *request.Request) bool {
+		return r.InFlightChunks() == 0 && !r.DecodeBusy()
 	}
 
 	// emit streams the tokens a request gained in this batch (indices
@@ -50,22 +104,27 @@ func (rt *Runtime) driverLoop() {
 		}
 		for i := pre; i < r.Generated(); i++ {
 			tok := TokenValue(r.ID, i)
-			sub.events <- TokenEvent{
+			ev := TokenEvent{
 				ReqID:    r.ID,
 				Index:    i,
 				Token:    tok,
 				Text:     TokenText(tok),
 				Finished: r.Finished() && i == r.Generated()-1,
 			}
+			if ev.Finished {
+				ev.Reason = FinishLength
+			}
+			sub.events <- ev
 		}
 		if r.Finished() {
-			close(sub.events)
-			delete(subs, r.ID)
 			rt.mu.Lock()
 			rt.collector.Observe(r)
 			rt.mu.Unlock()
+			finishSub(sub, FinishLength)
 		}
 	}
+
+	killed := false
 
 	tryInject := func() {
 		for inFlight < depth {
@@ -76,6 +135,7 @@ func (rt *Runtime) driverLoop() {
 			seq++
 			iterations++
 			inFlight++
+			rt.beat()
 			mb := &microBatch{seq: seq, batch: b, shape: b.Shape()}
 			prep := rt.cfg.Prep.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
 			if rt.cfg.Async {
@@ -90,6 +150,44 @@ func (rt *Runtime) driverLoop() {
 				rt.sleepScaled(prep)
 			}
 			rt.workers[0].workCh <- mb
+		}
+	}
+
+	// reapCancels aborts every cancel-requested request that has become
+	// quiescent (called after each batch retires).
+	reapCancels := func() {
+		for _, sub := range pendingCancels {
+			if quiescent(sub.req) {
+				abortResident(sub, *sub.abortReason.Load())
+			}
+		}
+	}
+
+	// admit accepts a submission arriving from the frontend queue.
+	admit := func(sub *submission) {
+		if killed {
+			abortEvent(sub, FinishShutdown)
+			return
+		}
+		if rp := sub.abortReason.Load(); rp != nil {
+			// Cancelled while still queued: never enters the pool.
+			abortEvent(sub, *rp)
+			return
+		}
+		subs[sub.req.ID] = sub
+		pool.Add(sub.req)
+	}
+
+	// handleCancel processes a cancellation notice from the frontend.
+	handleCancel := func(sub *submission) {
+		if _, ok := subs[sub.req.ID]; !ok {
+			// Not yet admitted (admit checks the flag) or already terminal.
+			return
+		}
+		if quiescent(sub.req) {
+			abortResident(sub, *sub.abortReason.Load())
+		} else {
+			pendingCancels[sub.req.ID] = sub
 		}
 	}
 
@@ -109,38 +207,97 @@ func (rt *Runtime) driverLoop() {
 		}
 		finished += len(fin)
 		inFlight--
+		rt.beat()
+		reapCancels()
+	}
+
+	// shutdownExit terminates every outstanding handle and stops the
+	// pipeline. Precondition: inFlight == 0, so every resident request is
+	// quiescent. Setting stopping under the write lock fences the frontend:
+	// any Submit that already passed the check has completed its channel
+	// send (it holds the read lock across the send), so the sweep below
+	// provably catches every queued submission — no handle leaks.
+	shutdownExit := func() {
+		rt.subMu.Lock()
+		rt.stopping = true
+		rt.subMu.Unlock()
+		for {
+			select {
+			case sub := <-rt.submitCh:
+				abortEvent(sub, FinishShutdown)
+				continue
+			default:
+			}
+			break
+		}
+		for _, sub := range subs {
+			reason := FinishShutdown
+			if rp := sub.abortReason.Load(); rp != nil {
+				reason = *rp
+			}
+			abortResident(sub, reason)
+		}
+		if rt.cfg.Async {
+			for _, w := range rt.workers {
+				close(w.metaCh)
+			}
+		}
+		close(rt.workers[0].workCh)
+		updateSnapshot()
 	}
 
 	stopCh := rt.stopCh
+	killCh := rt.killCh
 	draining := false
 	for {
-		if draining && inFlight == 0 {
-			for _, w := range rt.workers {
-				if rt.cfg.Async {
-					close(w.metaCh)
-				}
+		if killed {
+			if inFlight == 0 {
+				shutdownExit()
+				return
 			}
-			close(rt.workers[0].workCh)
-			updateSnapshot()
-			return
+		} else if draining && inFlight == 0 {
+			// Graceful drain: keep scheduling queued and resident work until
+			// none remains. If the scheduler cannot place the remainder with
+			// an idle pipeline it never will (its decisions depend only on
+			// pool state), so the remainder is aborted rather than stalled.
+			for {
+				select {
+				case sub := <-rt.submitCh:
+					admit(sub)
+					continue
+				default:
+				}
+				break
+			}
+			tryInject()
+			if inFlight == 0 {
+				shutdownExit()
+				return
+			}
 		}
 		select {
 		case sub := <-rt.submitCh:
-			if draining {
-				close(sub.events)
-				continue
+			admit(sub)
+			if !killed {
+				tryInject()
 			}
-			subs[sub.req.ID] = sub
-			pool.Add(sub.req)
-			tryInject()
+		case sub := <-rt.cancelCh:
+			handleCancel(sub)
+			if !killed {
+				// An abort releases KV, which may unblock scheduling.
+				tryInject()
+			}
 		case mb := <-rt.doneCh:
 			handleDone(mb)
-			if !draining {
+			if !killed {
 				tryInject()
 			}
 		case <-stopCh:
 			stopCh = nil
 			draining = true
+		case <-killCh:
+			killCh = nil
+			killed = true
 		}
 		updateSnapshot()
 	}

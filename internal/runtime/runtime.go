@@ -21,6 +21,37 @@
 // duration given by the same gpu.CostModel the discrete-event engine uses,
 // scaled by Config.TimeScale (0 disables sleeping entirely, useful for
 // tests and for the fastest-possible serving of synthetic tokens).
+//
+// # Request lifecycle, shutdown, and backpressure
+//
+// Every submitted request terminates in exactly one way, and its Events
+// channel is always closed afterwards — handles never leak:
+//
+//   - FinishLength: every requested token was generated (the happy path).
+//   - FinishCancelled / FinishTimeout: the submitter's context was
+//     cancelled or its deadline expired (SubmitCtx), or Handle.Cancel was
+//     called. The driver aborts the request at the next micro-batch
+//     boundary and releases its KV blocks.
+//   - FinishShutdown: the runtime was drained or closed before the request
+//     completed.
+//
+// Shutdown has two modes. Shutdown(ctx) drains gracefully: new submissions
+// are refused with ErrStopped, but queued AND in-flight work keeps being
+// scheduled until it completes; when ctx expires the remainder is aborted
+// (FinishShutdown) with properly closed channels. Close aborts immediately,
+// cutting emulated GPU sleeps short. Both are idempotent and safe to call
+// concurrently.
+//
+// Admission control bounds the work the runtime will buffer: when the
+// submit queue is saturated, or the projected KV demand (prompt + output
+// tokens summed over every admitted, unfinished request) exceeds
+// Config.AdmitKVFactor times the KV capacity, Submit fails fast with
+// ErrQueueFull instead of queueing unboundedly.
+//
+// A watchdog goroutine observes driver progress: when micro-batches are in
+// flight but none has retired for Config.WatchdogTimeout (e.g. a stalled
+// stage, injectable via Config.StageFault), Stats().Health reports
+// "degraded" until progress resumes.
 package runtime
 
 import (
@@ -28,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gllm/internal/engine"
@@ -63,8 +95,29 @@ type Config struct {
 	// TimeScale converts modeled GPU time into wall-clock sleeps
 	// (e.g. 0.001 = 1000x faster than modeled). Zero disables sleeping.
 	TimeScale float64
-	// QueueDepth bounds the submit channel (default 1024).
+	// QueueDepth bounds the submit channel (default 1024). A full queue
+	// rejects submissions with ErrQueueFull.
 	QueueDepth int
+	// AdmitKVTokens, when positive, caps the projected KV demand (prompt +
+	// output tokens summed over every admitted, unfinished request); Submit
+	// beyond the cap fails with ErrQueueFull. Zero derives the cap from
+	// AdmitKVFactor.
+	AdmitKVTokens int64
+	// AdmitKVFactor expresses the admission cap as a multiple of the
+	// deployment's KV capacity (default 8: the queue may hold roughly
+	// eight cache-fulls of future work). Negative disables KV-headroom
+	// admission control entirely.
+	AdmitKVFactor float64
+	// WatchdogTimeout flags the runtime degraded when micro-batches are in
+	// flight but none has retired for this long (wall clock). Default 30s;
+	// negative disables the watchdog.
+	WatchdogTimeout time.Duration
+	// StageFault, when non-nil, is consulted by every stage worker before
+	// computing a micro-batch: a positive duration stalls that stage for
+	// that wall-clock time. Fault injection for testing the watchdog,
+	// degraded health, and shutdown-under-fault paths. Must be safe for
+	// concurrent use; Close cuts injected stalls short.
+	StageFault func(stage, seq int) time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -77,6 +130,12 @@ func (c *Config) applyDefaults() {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 1024
 	}
+	if c.AdmitKVFactor == 0 {
+		c.AdmitKVFactor = 8
+	}
+	if c.WatchdogTimeout == 0 {
+		c.WatchdogTimeout = 30 * time.Second
+	}
 	if c.Prep.Name == "" {
 		if c.Async {
 			c.Prep = engine.GLLMRuntime
@@ -86,6 +145,29 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// FinishReason classifies how a request reached its terminal state.
+type FinishReason string
+
+// Terminal reasons. Every handle's Events channel closes with exactly one.
+const (
+	// FinishLength: every requested output token was generated.
+	FinishLength FinishReason = "length"
+	// FinishCancelled: the submitter cancelled (context or Handle.Cancel).
+	FinishCancelled FinishReason = "cancelled"
+	// FinishTimeout: the submitter's context deadline expired.
+	FinishTimeout FinishReason = "timeout"
+	// FinishShutdown: the runtime drained or closed before completion.
+	FinishShutdown FinishReason = "shutdown"
+)
+
+// Health states reported by Snapshot.Health.
+const (
+	HealthOK       = "ok"       // serving normally
+	HealthDegraded = "degraded" // watchdog: in-flight work is not retiring
+	HealthDraining = "draining" // Shutdown in progress
+	HealthStopped  = "stopped"  // driver exited
+)
+
 // TokenEvent is one generated token streamed back to the submitter.
 type TokenEvent struct {
 	ReqID    int64
@@ -93,6 +175,10 @@ type TokenEvent struct {
 	Token    uint64
 	Text     string
 	Finished bool
+	// Reason is set on the terminal event only: FinishLength on the last
+	// generated token, or an abort reason on a synthetic, empty-Text
+	// terminal event for requests that end early.
+	Reason FinishReason
 }
 
 // Handle tracks one submitted request.
@@ -100,8 +186,32 @@ type Handle struct {
 	ID int64
 	// Events delivers every generated token; it is closed after the final
 	// (Finished) event. The channel is buffered for the full output, so
-	// slow consumers never stall the driver.
+	// slow consumers never stall the driver. Aborted requests receive one
+	// final empty-Text event carrying the abort reason before the close.
 	Events <-chan TokenEvent
+
+	rt  *Runtime
+	sub *submission
+}
+
+// Done returns a channel closed when the request reaches a terminal state
+// (all tokens emitted, or aborted).
+func (h *Handle) Done() <-chan struct{} { return h.sub.done }
+
+// Cancel requests a cooperative abort: the driver removes the request at
+// the next micro-batch boundary and releases its KV. Safe to call from any
+// goroutine, idempotent, and a no-op once the request is terminal.
+func (h *Handle) Cancel() { h.rt.requestCancel(h.sub, FinishCancelled) }
+
+// FinishReason reports how the request terminated. It returns "" until the
+// request is terminal (Events closed / Done fired).
+func (h *Handle) FinishReason() FinishReason {
+	select {
+	case <-h.sub.done:
+		return h.sub.reason
+	default:
+		return ""
+	}
 }
 
 // Snapshot is a point-in-time view of runtime state.
@@ -113,6 +223,16 @@ type Snapshot struct {
 	KVFreeRate     float64
 	Finished       int
 	Preemptions    int
+	// Resident counts admitted, unfinished requests (queued or running).
+	Resident int
+	// Cancelled counts requests aborted before completion (cancellation,
+	// timeout, or shutdown).
+	Cancelled int
+	// Rejected counts submissions refused with ErrQueueFull.
+	Rejected int64
+	// Health is one of HealthOK, HealthDegraded, HealthDraining,
+	// HealthStopped.
+	Health string
 }
 
 // Runtime is a live serving deployment.
@@ -121,11 +241,22 @@ type Runtime struct {
 	cost        gpu.CostModel
 	stageLayers []int
 	kvCapacity  int64
+	admitLimit  int64 // 0 = KV-headroom admission disabled
 
 	submitCh chan *submission
+	cancelCh chan *submission
 	doneCh   chan *microBatch
 	stopCh   chan struct{}
+	killCh   chan struct{}
 	stopped  chan struct{}
+	stopOnce sync.Once
+	killOnce sync.Once
+
+	// subMu serializes submission against the driver's final queue sweep:
+	// once stopping is set no new submission can enter submitCh, so the
+	// sweep provably terminates every outstanding handle.
+	subMu    sync.RWMutex
+	stopping bool
 
 	workers []*worker
 
@@ -133,13 +264,26 @@ type Runtime struct {
 	collector metrics.Collector
 	snapshot  Snapshot
 
+	admittedKV atomic.Int64 // projected KV tokens of admitted, unfinished requests
+	rejected   atomic.Int64
+	degraded   atomic.Bool
+	lastBeat   atomic.Int64 // UnixNano of the driver's last scheduling progress
+
 	nextID int64
 	start  time.Time
 }
 
 type submission struct {
-	req    *request.Request
-	events chan TokenEvent
+	req      *request.Request
+	events   chan TokenEvent
+	done     chan struct{}
+	kvDemand int64
+	// reason is written by the driver before done/events close; readers
+	// must wait on either channel first (Handle.FinishReason does).
+	reason FinishReason
+	// abortReason is the externally requested abort reason (CAS winner
+	// sends the submission to cancelCh exactly once).
+	abortReason atomic.Pointer[FinishReason]
 }
 
 // microBatch is the unit passed through the pipeline.
@@ -149,8 +293,14 @@ type microBatch struct {
 	shape gpu.BatchShape
 }
 
-// ErrStopped is returned by Submit after Shutdown.
+// ErrStopped is returned by Submit after Shutdown or Close.
 var ErrStopped = errors.New("runtime: stopped")
+
+// ErrQueueFull is returned by Submit when admission control refuses the
+// request: the submit queue is saturated or the projected KV demand of
+// admitted work exceeds the configured headroom. Callers should shed load
+// or retry later (the HTTP frontend maps it to 429 + Retry-After).
+var ErrQueueFull = errors.New("runtime: queue full")
 
 // Start validates the configuration, spawns the driver and stage workers,
 // and returns a serving runtime.
@@ -182,11 +332,21 @@ func Start(cfg Config) (*Runtime, error) {
 		stageLayers: stageLayers,
 		kvCapacity:  kvCap,
 		submitCh:    make(chan *submission, cfg.QueueDepth),
+		cancelCh:    make(chan *submission, cfg.QueueDepth),
 		doneCh:      make(chan *microBatch, depth+1),
 		stopCh:      make(chan struct{}),
+		killCh:      make(chan struct{}),
 		stopped:     make(chan struct{}),
 		start:       time.Now(),
 	}
+	switch {
+	case cfg.AdmitKVTokens > 0:
+		rt.admitLimit = cfg.AdmitKVTokens
+	case cfg.AdmitKVFactor > 0:
+		rt.admitLimit = int64(cfg.AdmitKVFactor * float64(kvCap))
+	}
+	rt.lastBeat.Store(time.Now().UnixNano())
+	rt.snapshot = Snapshot{KVFreeRate: 1} // empty cache until the driver's first pass
 	rt.workers = make([]*worker, depth)
 	for i := range rt.workers {
 		rt.workers[i] = newWorker(rt, i)
@@ -196,6 +356,9 @@ func Start(cfg Config) (*Runtime, error) {
 		w.start(i+1 < depth)
 	}
 	go rt.driverLoop()
+	if cfg.WatchdogTimeout > 0 {
+		go rt.watchdogLoop()
+	}
 	return rt, nil
 }
 
@@ -205,13 +368,30 @@ func (rt *Runtime) KVCapacityTokens() int64 { return rt.kvCapacity }
 // Submit enqueues a request with the given prompt and output lengths and
 // returns a handle streaming its tokens. It is safe for concurrent use.
 func (rt *Runtime) Submit(promptLen, maxTokens int) (*Handle, error) {
-	return rt.SubmitWithPrefix(promptLen, maxTokens, 0, 0)
+	return rt.submit(context.Background(), promptLen, maxTokens, 0, 0)
+}
+
+// SubmitCtx is Submit bound to a context: when ctx is cancelled or its
+// deadline expires, the request is aborted at the next micro-batch
+// boundary, its KV blocks are released, and its handle terminates with
+// FinishCancelled or FinishTimeout.
+func (rt *Runtime) SubmitCtx(ctx context.Context, promptLen, maxTokens int) (*Handle, error) {
+	return rt.submit(ctx, promptLen, maxTokens, 0, 0)
 }
 
 // SubmitWithPrefix is Submit for a request whose first sharedLen prompt
 // tokens are shared content of the given prefix group (requires
 // Config.EnablePrefixCache for reuse to occur).
 func (rt *Runtime) SubmitWithPrefix(promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
+	return rt.submit(context.Background(), promptLen, maxTokens, group, sharedLen)
+}
+
+// SubmitCtxWithPrefix combines SubmitCtx and SubmitWithPrefix.
+func (rt *Runtime) SubmitCtxWithPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
+	return rt.submit(ctx, promptLen, maxTokens, group, sharedLen)
+}
+
+func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
 	if promptLen <= 0 || maxTokens <= 0 {
 		return nil, fmt.Errorf("runtime: invalid lengths %d/%d", promptLen, maxTokens)
 	}
@@ -221,6 +401,31 @@ func (rt *Runtime) SubmitWithPrefix(promptLen, maxTokens int, group int64, share
 	if int64(promptLen+maxTokens) > rt.kvCapacity {
 		return nil, fmt.Errorf("runtime: request needs %d KV tokens, capacity %d", promptLen+maxTokens, rt.kvCapacity)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// The read lock pins the driver's stopping flag for the duration of the
+	// enqueue: after the driver sets it (write lock) and sweeps the queue,
+	// no submission can slip in behind the sweep and leak its handle.
+	rt.subMu.RLock()
+	defer rt.subMu.RUnlock()
+	if rt.stopping || rt.isDraining() {
+		return nil, ErrStopped
+	}
+
+	demand := int64(promptLen + maxTokens)
+	if rt.admitLimit > 0 {
+		if rt.admittedKV.Add(demand) > rt.admitLimit {
+			rt.admittedKV.Add(-demand)
+			rt.rejected.Add(1)
+			return nil, fmt.Errorf("%w: projected KV demand exceeds %d-token admission limit",
+				ErrQueueFull, rt.admitLimit)
+		}
+	} else {
+		rt.admittedKV.Add(demand)
+	}
+
 	rt.mu.Lock()
 	id := rt.nextID
 	rt.nextID++
@@ -229,28 +434,83 @@ func (rt *Runtime) SubmitWithPrefix(promptLen, maxTokens int, group int64, share
 	req := request.New(id, time.Since(rt.start), promptLen, maxTokens)
 	req.PrefixGroup = group
 	req.SharedPrefixLen = sharedLen
-	events := make(chan TokenEvent, maxTokens)
-	sub := &submission{req: req, events: events}
-	// Refuse new work once stopped (checked first: the buffered submit
-	// channel may still have space, and select picks ready cases randomly).
-	select {
-	case <-rt.stopCh:
-		return nil, ErrStopped
-	default:
+	sub := &submission{
+		req:      req,
+		events:   make(chan TokenEvent, maxTokens),
+		done:     make(chan struct{}),
+		kvDemand: demand,
 	}
 	select {
 	case rt.submitCh <- sub:
-		return &Handle{ID: id, Events: events}, nil
-	case <-rt.stopCh:
-		return nil, ErrStopped
+	default:
+		rt.admittedKV.Add(-demand)
+		rt.rejected.Add(1)
+		return nil, fmt.Errorf("%w: submit queue saturated (depth %d)", ErrQueueFull, cap(rt.submitCh))
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				reason := FinishCancelled
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					reason = FinishTimeout
+				}
+				rt.requestCancel(sub, reason)
+			case <-sub.done:
+			}
+		}()
+	}
+	return &Handle{ID: id, Events: sub.events, rt: rt, sub: sub}, nil
+}
+
+// requestCancel records the abort reason (first writer wins) and notifies
+// the driver exactly once. Safe from any goroutine; no-op once terminal.
+func (rt *Runtime) requestCancel(sub *submission, reason FinishReason) {
+	if !sub.abortReason.CompareAndSwap(nil, &reason) {
+		return
+	}
+	select {
+	case rt.cancelCh <- sub:
+	case <-sub.done:
+	case <-rt.stopped:
 	}
 }
 
-// Stats returns a snapshot of runtime counters.
+// Stats returns a snapshot of runtime counters and health.
 func (rt *Runtime) Stats() Snapshot {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.snapshot
+	s := rt.snapshot
+	rt.mu.Unlock()
+	s.Rejected = rt.rejected.Load()
+	switch {
+	case rt.isStopped():
+		s.Health = HealthStopped
+	case rt.isDraining():
+		s.Health = HealthDraining
+	case rt.degraded.Load():
+		s.Health = HealthDegraded
+	default:
+		s.Health = HealthOK
+	}
+	return s
+}
+
+func (rt *Runtime) isStopped() bool {
+	select {
+	case <-rt.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
+func (rt *Runtime) isDraining() bool {
+	select {
+	case <-rt.stopCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // Report summarizes all finished requests so far.
@@ -260,26 +520,78 @@ func (rt *Runtime) Report() metrics.Report {
 	return rt.collector.Report(time.Since(rt.start))
 }
 
-// Shutdown stops the runtime, waiting for in-flight micro-batches to drain
-// (but not for queued requests to finish). It is idempotent.
+// Shutdown drains the runtime gracefully: new submissions are refused, but
+// queued and in-flight work keeps being scheduled until it completes. When
+// ctx expires first, the remainder is aborted (handles terminate with
+// FinishShutdown and closed channels) and ctx.Err() is returned. It is
+// idempotent and safe for concurrent use.
 func (rt *Runtime) Shutdown(ctx context.Context) error {
-	select {
-	case <-rt.stopCh:
-	default:
-		close(rt.stopCh)
-	}
+	rt.stopOnce.Do(func() { close(rt.stopCh) })
 	select {
 	case <-rt.stopped:
 		return nil
 	case <-ctx.Done():
+		rt.killOnce.Do(func() { close(rt.killCh) })
+		<-rt.stopped
 		return ctx.Err()
 	}
 }
+
+// Close stops the runtime immediately: in-flight micro-batches retire with
+// their emulated sleeps cut short, and every outstanding request is aborted
+// with FinishShutdown. Idempotent and safe for concurrent use.
+func (rt *Runtime) Close() error {
+	rt.stopOnce.Do(func() { close(rt.stopCh) })
+	rt.killOnce.Do(func() { close(rt.killCh) })
+	<-rt.stopped
+	return nil
+}
+
+// watchdogLoop flags the runtime degraded when batches are in flight but
+// none has retired for WatchdogTimeout — a stalled stage (or an injected
+// fault) rather than an idle pipeline.
+func (rt *Runtime) watchdogLoop() {
+	timeout := rt.cfg.WatchdogTimeout
+	tick := timeout / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopped:
+			return
+		case <-t.C:
+			rt.mu.Lock()
+			inFlight := rt.snapshot.InFlight
+			rt.mu.Unlock()
+			beat := time.Unix(0, rt.lastBeat.Load())
+			rt.degraded.Store(inFlight > 0 && time.Since(beat) > timeout)
+		}
+	}
+}
+
+// beat records driver scheduling progress for the watchdog.
+func (rt *Runtime) beat() { rt.lastBeat.Store(time.Now().UnixNano()) }
 
 // sleepScaled emulates occupancy of modeled duration d.
 func (rt *Runtime) sleepScaled(d time.Duration) {
 	if rt.cfg.TimeScale <= 0 || d <= 0 {
 		return
 	}
-	time.Sleep(time.Duration(float64(d) * rt.cfg.TimeScale))
+	rt.sleepWall(time.Duration(float64(d) * rt.cfg.TimeScale))
+}
+
+// sleepWall sleeps for wall-clock duration d, cut short by Close.
+func (rt *Runtime) sleepWall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-rt.killCh:
+	}
 }

@@ -109,6 +109,13 @@ func (w *worker) computeLoop() {
 			// are built on the critical path.
 			_ = buildInputs(mb)
 		}
+		if fault := w.rt.cfg.StageFault; fault != nil {
+			// Injected stall (wall clock, not modeled time); Close cuts it
+			// short via sleepWall's kill select.
+			if d := fault(w.idx, mb.seq); d > 0 {
+				w.rt.sleepWall(d)
+			}
+		}
 		w.rt.sleepScaled(w.rt.cost.StageTime(mb.shape, w.layers))
 		w.computed.Add(1)
 		if w.next != nil {

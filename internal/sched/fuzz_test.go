@@ -25,6 +25,10 @@ func FuzzThrottleSchedule(f *testing.F) {
 	f.Add([]byte("\x01\x08\x08\x01" + "\x7f\x01\x7f\x01\x7f\x01\x7f\x01"))
 	f.Add([]byte("\x03\x30\xff\x07" + "\x40\x10\x08\x20\x60\x01"))
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x01, 0x01})
+	// KVThresh boundary seed: 40 KV blocks (data[1]=0x20) make an exact 5%
+	// free rate (2/40 == KVThresh) reachable, exercising the at-or-below
+	// prefill suspension gate under heavy occupancy.
+	f.Add([]byte("\x02\x20\x30\x02" + "\x5f\x08\x5f\x08\x5f\x08\x5f\x08\x10\x01"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 6 {
 			return

@@ -412,6 +412,31 @@ func (p *Pool) Complete(b *Batch, now time.Duration) []*request.Request {
 	return finished
 }
 
+// Abort removes a resident request from the pool in any state — waiting,
+// mid-prefill, or decoding — releasing its KV blocks and transitioning it
+// to the aborted terminal state. The caller (the runtime driver) must only
+// abort quiescent requests: aborting one with an in-flight chunk or decode
+// step would free KV an executing micro-batch still references, so that
+// panics, as does aborting a request not resident in the pool.
+func (p *Pool) Abort(r *request.Request) {
+	switch r.State() {
+	case request.StateWaiting, request.StatePrefilling:
+		if r.InFlightChunks() > 0 {
+			panic(fmt.Sprintf("sched: aborting %v with %d chunks in flight", r, r.InFlightChunks()))
+		}
+		p.removePrefill(r)
+	case request.StateDecoding:
+		if r.DecodeBusy() {
+			panic(fmt.Sprintf("sched: aborting busy %v", r))
+		}
+		p.removeDecoding(r)
+	default:
+		panic(fmt.Sprintf("sched: aborting %v in state %s", r, r.State()))
+	}
+	p.KV.Free(kvSeq(r))
+	r.Abort()
+}
+
 // ReleaseDecoding removes a decoding request from this pool WITHOUT
 // freeing its KV or touching its state — the caller is migrating it to
 // another replica (prefill/decode disaggregation). The caller must free

@@ -6,6 +6,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -79,7 +80,14 @@ type apiError struct {
 func writeError(w http.ResponseWriter, status int, msg string) {
 	var e apiError
 	e.Error.Message = msg
-	e.Error.Type = "invalid_request_error"
+	switch status {
+	case http.StatusTooManyRequests:
+		e.Error.Type = "rate_limit_error"
+	case http.StatusServiceUnavailable:
+		e.Error.Type = "service_unavailable_error"
+	default:
+		e.Error.Type = "invalid_request_error"
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(e)
@@ -102,13 +110,20 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	if promptLen <= 0 {
 		promptLen = runtime.TokenizeLen(req.Prompt)
 	}
-	h, err := s.rt.Submit(promptLen, req.MaxTokens)
+	// The request context binds the generation's lifetime to the client
+	// connection: a disconnect cancels the runtime request and frees its KV.
+	h, err := s.rt.SubmitCtx(r.Context(), promptLen, req.MaxTokens)
 	if err != nil {
-		if err == runtime.ErrStopped {
+		switch {
+		case errors.Is(err, runtime.ErrQueueFull):
+			// Backpressure: ask the client to shed load and retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, runtime.ErrStopped):
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
-			return
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	id := fmt.Sprintf("cmpl-%d", h.ID)
@@ -118,16 +133,36 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	}
 	var text strings.Builder
 	count := 0
-	for ev := range h.Events {
-		text.WriteString(ev.Text)
-		count++
+	finish := string(runtime.FinishLength)
+	for open := true; open; {
+		select {
+		case ev, ok := <-h.Events:
+			if !ok {
+				open = false
+				break
+			}
+			text.WriteString(ev.Text)
+			if ev.Text != "" {
+				count++
+			}
+			if ev.Finished && ev.Reason != "" {
+				finish = string(ev.Reason)
+			}
+		case <-r.Context().Done():
+			// Client went away mid-generation: the SubmitCtx watcher cancels
+			// the runtime request; drain the (buffered) channel so the handle
+			// terminates cleanly, then give up on the response.
+			for range h.Events {
+			}
+			return
+		}
 	}
 	resp := completionResponse{
 		ID:      id,
 		Object:  "text_completion",
 		Created: time.Now().Unix(),
 		Model:   s.modelName,
-		Choices: []completionChoice{{Text: strings.TrimSpace(text.String()), FinishReason: "length"}},
+		Choices: []completionChoice{{Text: strings.TrimSpace(text.String()), FinishReason: finish}},
 		Usage: &completionUsage{
 			PromptTokens:     promptLen,
 			CompletionTokens: count,
@@ -160,7 +195,10 @@ func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id str
 			}
 			finish := ""
 			if ev.Finished {
-				finish = "length"
+				finish = string(runtime.FinishLength)
+				if ev.Reason != "" {
+					finish = string(ev.Reason)
+				}
 			}
 			chunk := completionResponse{
 				ID:      id,
@@ -201,8 +239,14 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	health := s.rt.Stats().Health
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	if health != runtime.HealthOK {
+		// Degraded (stalled pipeline), draining, or stopped: load balancers
+		// should stop routing here.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": health})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -225,5 +269,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "gllm_waiting_prefill_tokens %d\n", st.WaitingPrefill)
 	fmt.Fprintf(w, "gllm_iterations %d\n", st.Iterations)
 	fmt.Fprintf(w, "gllm_preemptions %d\n", st.Preemptions)
+	fmt.Fprintf(w, "gllm_requests_resident %d\n", st.Resident)
+	fmt.Fprintf(w, "gllm_requests_cancelled %d\n", st.Cancelled)
+	fmt.Fprintf(w, "gllm_requests_rejected %d\n", st.Rejected)
+	healthy := 0
+	if st.Health == runtime.HealthOK {
+		healthy = 1
+	}
+	fmt.Fprintf(w, "gllm_healthy %d\n", healthy)
 	fmt.Fprintf(w, "gllm_uptime_seconds %g\n", time.Since(s.started).Seconds())
 }

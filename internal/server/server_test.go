@@ -20,23 +20,33 @@ import (
 )
 
 func testServer(t *testing.T) (*httptest.Server, *runtime.Runtime) {
+	return testServerCfg(t, nil)
+}
+
+// testServerCfg builds a server over a runtime with config overrides. The
+// runtime is closed before the HTTP listener: httptest's Close waits for
+// in-flight handlers, which unblock only when the runtime terminates their
+// handles.
+func testServerCfg(t *testing.T, mutate func(*runtime.Config)) (*httptest.Server, *runtime.Runtime) {
 	t.Helper()
-	rt, err := runtime.Start(runtime.Config{
+	cfg := runtime.Config{
 		Model:     model.Qwen25_14B,
 		GPU:       gpu.L20,
 		Topo:      network.IntraNode(4, network.PCIe),
 		Scheduler: sched.NewDefaultThrottle(),
 		Async:     true,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := runtime.Start(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(New(rt, "Qwen2.5-14B"))
 	t.Cleanup(func() {
+		_ = rt.Close()
 		ts.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = rt.Shutdown(ctx)
 	})
 	return ts, rt
 }
@@ -270,7 +280,16 @@ func TestHealthAndStatsAndMetrics(t *testing.T) {
 }
 
 func TestClientDisconnectMidStream(t *testing.T) {
-	ts, rt := testServer(t)
+	// Pace the pipeline (2ms per micro-batch at stage 0) so the disconnect
+	// reliably lands mid-generation.
+	ts, rt := testServerCfg(t, func(cfg *runtime.Config) {
+		cfg.StageFault = func(stage, seq int) time.Duration {
+			if stage == 0 {
+				return 2 * time.Millisecond
+			}
+			return 0
+		}
+	})
 	// Open a streaming request and abandon it after the first chunk.
 	body := `{"prompt_len": 64, "max_tokens": 1000, "stream": true}`
 	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/completions", strings.NewReader(body))
@@ -299,18 +318,212 @@ func TestClientDisconnectMidStream(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("post-disconnect request status = %s", resp2.Status)
 	}
-	// Eventually all generation (including the abandoned request's)
-	// finishes server-side.
+	// The abandoned request is cancelled — not generated to completion —
+	// and its KV is released.
 	deadline := time.After(10 * time.Second)
 	for {
-		if st := rt.Stats(); st.Finished >= 2 && st.InFlight == 0 && st.RunningDecode == 0 {
+		st := rt.Stats()
+		if st.Cancelled >= 1 && st.InFlight == 0 && st.RunningDecode == 0 && st.KVFreeRate == 1 {
 			return
 		}
 		select {
 		case <-deadline:
-			t.Fatalf("abandoned request never drained: %+v", rt.Stats())
+			t.Fatalf("abandoned request never cancelled: %+v", rt.Stats())
 		case <-time.After(5 * time.Millisecond):
 		}
+	}
+}
+
+// A client abandoning a non-streaming completion must likewise cancel the
+// runtime request (the seed handler blocked on the events channel and the
+// request kept generating).
+func TestClientDisconnectNonStreaming(t *testing.T) {
+	ts, rt := testServerCfg(t, func(cfg *runtime.Config) {
+		cfg.StageFault = func(stage, seq int) time.Duration {
+			if stage == 0 {
+				return 2 * time.Millisecond
+			}
+			return 0
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"prompt_len": 64, "max_tokens": 1000}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/completions", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for rt.Stats().KVFreeRate == 1 {
+		select {
+		case <-deadline:
+			t.Fatal("request never started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("cancelled request returned a response")
+	}
+	for {
+		st := rt.Stats()
+		if st.Cancelled >= 1 && st.KVFreeRate == 1 && st.Resident == 0 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("abandoned request never cancelled: %+v", rt.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Saturated admission yields HTTP 429 with a Retry-After hint and the
+// OpenAI rate-limit error type.
+func TestQueueFullGives429(t *testing.T) {
+	ts, rt := testServerCfg(t, func(cfg *runtime.Config) {
+		cfg.AdmitKVTokens = 200
+		cfg.StageFault = func(stage, seq int) time.Duration { return time.Hour }
+	})
+	// First request occupies 128 of the 200-token admission budget and
+	// never finishes (stalled pipeline).
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+			strings.NewReader(`{"prompt_len": 64, "max_tokens": 64}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for rt.Stats().Resident == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first request never admitted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt_len": 64, "max_tokens": 64,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After header")
+	}
+	var e struct {
+		Error struct {
+			Type string `json:"type"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Type != "rate_limit_error" {
+		t.Fatalf("error type = %q", e.Error.Type)
+	}
+	if rt.Stats().Rejected < 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// An injected stage stall flips /healthz to 503 "degraded".
+func TestHealthzDegradedOnStall(t *testing.T) {
+	ts, _ := testServerCfg(t, func(cfg *runtime.Config) {
+		cfg.WatchdogTimeout = 20 * time.Millisecond
+		cfg.StageFault = func(stage, seq int) time.Duration { return time.Hour }
+	})
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+			strings.NewReader(`{"prompt_len": 64, "max_tokens": 8}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && out.Status == "degraded" {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("healthz never degraded (last: %d %q)", resp.StatusCode, out.Status)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Regression: runtime shutdown must unblock handlers waiting on event
+// channels of queued-but-unfinished requests (the seed drain leaked them,
+// wedging the HTTP server forever).
+func TestShutdownUnblocksPendingHandler(t *testing.T) {
+	ts, rt := testServerCfg(t, func(cfg *runtime.Config) {
+		cfg.StageFault = func(stage, seq int) time.Duration { return time.Hour }
+	})
+	type result struct {
+		status int
+		finish string
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/completions", "application/json",
+			strings.NewReader(`{"prompt_len": 64, "max_tokens": 32}`))
+		if err != nil {
+			resCh <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Choices []struct {
+				FinishReason string `json:"finish_reason"`
+			} `json:"choices"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		finish := ""
+		if len(out.Choices) > 0 {
+			finish = out.Choices[0].FinishReason
+		}
+		resCh <- result{status: resp.StatusCode, finish: finish}
+	}()
+	deadline := time.After(10 * time.Second)
+	for rt.Stats().Resident == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("request never admitted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-resCh:
+		if res.status != http.StatusOK || res.finish != "shutdown" {
+			t.Fatalf("handler returned status %d finish %q", res.status, res.finish)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still blocked after runtime Close")
 	}
 }
 
