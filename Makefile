@@ -1,11 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 race fuzz-smoke
+.PHONY: check tier1 race fuzz-smoke trace-smoke fmt-check
 
 # check runs everything a PR must pass: tier-1 build+tests, the race
-# tier (see ROADMAP.md), and a short fuzz smoke of both fuzz targets.
-check: tier1 race fuzz-smoke
+# tier (see ROADMAP.md), gofmt enforcement, a short fuzz smoke of both
+# fuzz targets, and the trace-out round-trip smoke.
+check: tier1 race fmt-check fuzz-smoke trace-smoke
 
 tier1:
 	$(GO) build ./...
@@ -13,9 +14,20 @@ tier1:
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/... ./internal/metrics/... ./internal/obs/...
+
+# fmt-check fails when any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # -run='^$$' skips the regular tests so only the fuzz engine runs.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzKVAllocFree -fuzztime=$(FUZZTIME) ./internal/kvcache
 	$(GO) test -run='^$$' -fuzz=FuzzThrottleSchedule -fuzztime=$(FUZZTIME) ./internal/sched
+
+# trace-smoke round-trips a short simulation's -trace-out file through the
+# obs Chrome-trace decoder (gllm-tracecheck exits nonzero on a bad trace).
+trace-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) run ./cmd/gllm-sim -rate 2 -window 5s -trace-out $$tmp/spans.json >/dev/null && \
+	$(GO) run ./cmd/gllm-tracecheck -stages 4 $$tmp/spans.json

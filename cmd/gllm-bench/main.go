@@ -11,6 +11,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"gllm/internal/client"
+	"gllm/internal/metrics"
 	"gllm/internal/stats"
 	"gllm/internal/workload"
 )
@@ -38,10 +40,12 @@ func main() {
 		goodput     = flag.String("goodput", "", `SLO spec like "ttft:2000 tpot:100" (milliseconds)`)
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"cap on concurrent in-flight requests (0 = unlimited; arrivals stay open-loop)")
+		histOut = flag.String("hist-out", "",
+			"write client-side TTFT/TPOT/E2EL/queue-delay histograms as CSV (metric,kind,value rows)")
 	)
 	flag.Parse()
 	if err := run(*host, *port, *modelName, *datasetName, *datasetPath, *azureCSV,
-		*rate, *duration, *numPrompts, *seed, *speedup, *goodput, *parallel); err != nil {
+		*rate, *duration, *numPrompts, *seed, *speedup, *goodput, *parallel, *histOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-bench:", err)
 		os.Exit(1)
 	}
@@ -49,7 +53,7 @@ func main() {
 
 func run(host string, port int, modelName, datasetName, datasetPath, azureCSV string,
 	rate float64, duration time.Duration, numPrompts int, seed uint64,
-	speedup float64, goodput string, parallel int) error {
+	speedup float64, goodput string, parallel int, histOut string) error {
 
 	var items []workload.Item
 	switch {
@@ -110,6 +114,20 @@ func run(host string, port int, modelName, datasetName, datasetPath, azureCSV st
 		fmt.Printf("  rejected=%d (server backpressure)\n", res.Rejected)
 	}
 
+	if histOut != "" {
+		f, err := os.Create(histOut)
+		if err != nil {
+			return err
+		}
+		if err := writeHistCSV(f, res.Collector.Records()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  histograms: %s\n", histOut)
+	}
 	if goodput != "" {
 		ttft, tpot, err := parseGoodput(goodput)
 		if err != nil {
@@ -120,6 +138,60 @@ func run(host string, port int, modelName, datasetName, datasetPath, azureCSV st
 	}
 	if len(res.Errors) > 0 {
 		return fmt.Errorf("%d requests failed", len(res.Errors))
+	}
+	return nil
+}
+
+// writeHistCSV dumps Prometheus-shaped latency histograms as CSV: one row
+// per cumulative bucket (kind "le:<bound>", "le:+Inf"), plus "sum" and
+// "count" rows per metric, using the same bucket layout the server's
+// /metrics endpoint exposes.
+func writeHistCSV(w io.Writer, records []metrics.Record) error {
+	observe := func(sel func(metrics.Record) (time.Duration, bool)) []float64 {
+		var vals []float64
+		for _, r := range records {
+			if d, ok := sel(r); ok {
+				vals = append(vals, d.Seconds())
+			}
+		}
+		return vals
+	}
+	completedOnly := func(get func(metrics.Record) time.Duration) func(metrics.Record) (time.Duration, bool) {
+		return func(r metrics.Record) (time.Duration, bool) { return get(r), r.Completed() }
+	}
+	hists := []struct {
+		name string
+		vals []float64
+	}{
+		{"ttft_seconds", observe(completedOnly(func(r metrics.Record) time.Duration { return r.TTFT }))},
+		{"tpot_seconds", observe(completedOnly(func(r metrics.Record) time.Duration { return r.TPOT }))},
+		{"e2el_seconds", observe(completedOnly(func(r metrics.Record) time.Duration { return r.E2E }))},
+		{"queue_delay_seconds", observe(func(r metrics.Record) (time.Duration, bool) { return r.Queue, true })},
+	}
+	if _, err := fmt.Fprintln(w, "metric,kind,value"); err != nil {
+		return err
+	}
+	bounds := metrics.DefaultLatencyBuckets
+	for _, h := range hists {
+		counts := metrics.CumulativeCounts(h.vals, bounds)
+		for i, b := range bounds {
+			if _, err := fmt.Fprintf(w, "%s,le:%g,%d\n", h.name, b, counts[i]); err != nil {
+				return err
+			}
+		}
+		sum := 0.0
+		for _, v := range h.vals {
+			sum += v
+		}
+		if _, err := fmt.Fprintf(w, "%s,le:+Inf,%d\n", h.name, counts[len(bounds)]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s,sum,%g\n", h.name, sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s,count,%d\n", h.name, len(h.vals)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

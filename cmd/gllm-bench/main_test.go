@@ -1,8 +1,12 @@
 package main
 
 import (
+	"strconv"
+	"strings"
 	"testing"
 	"time"
+
+	"gllm/internal/metrics"
 )
 
 func TestParseGoodput(t *testing.T) {
@@ -20,6 +24,60 @@ func TestParseGoodput(t *testing.T) {
 	}
 	if ttft != time.Second || tpot != 250500*time.Microsecond {
 		t.Fatalf("parsed %v/%v", ttft, tpot)
+	}
+}
+
+func TestWriteHistCSV(t *testing.T) {
+	records := []metrics.Record{
+		{TTFT: 30 * time.Millisecond, TPOT: 5 * time.Millisecond,
+			E2E: 400 * time.Millisecond, Queue: 2 * time.Millisecond, FinishReason: "length"},
+		{TTFT: 120 * time.Millisecond, TPOT: 20 * time.Millisecond,
+			E2E: 900 * time.Millisecond, Queue: 8 * time.Millisecond, FinishReason: "length"},
+		// Aborted: excluded from latency histograms, counted in queue delay.
+		{TTFT: 10 * time.Millisecond, Queue: time.Millisecond, FinishReason: "cancelled"},
+	}
+	var sb strings.Builder
+	if err := writeHistCSV(&sb, records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "metric,kind,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	counts := map[string]string{}
+	perMetric := map[string][]int{}
+	for _, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			t.Fatalf("bad row %q", line)
+		}
+		if parts[1] == "count" {
+			counts[parts[0]] = parts[2]
+		}
+		if strings.HasPrefix(parts[1], "le:") {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", parts[2], err)
+			}
+			perMetric[parts[0]] = append(perMetric[parts[0]], n)
+		}
+	}
+	if counts["ttft_seconds"] != "2" || counts["queue_delay_seconds"] != "3" {
+		t.Fatalf("counts = %v", counts)
+	}
+	wantBuckets := len(metrics.DefaultLatencyBuckets) + 1
+	for metric, buckets := range perMetric {
+		if len(buckets) != wantBuckets {
+			t.Fatalf("%s: %d buckets, want %d", metric, len(buckets), wantBuckets)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] < buckets[i-1] {
+				t.Fatalf("%s: buckets not cumulative: %v", metric, buckets)
+			}
+		}
+	}
+	if got := perMetric["ttft_seconds"][wantBuckets-1]; got != 2 {
+		t.Fatalf("ttft +Inf bucket = %d", got)
 	}
 }
 

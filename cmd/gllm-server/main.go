@@ -7,13 +7,21 @@
 // Then benchmark it with gllm-bench, or query it directly:
 //
 //	curl -s localhost:8000/v1/completions -d '{"prompt":"hello world","max_tokens":8}'
+//
+// Observability:
+//
+//	gllm-server -trace-out spans.json    # Chrome trace of stage timelines on exit
+//	gllm-server -pprof                   # /debug/pprof/ profiling endpoints
+//	gllm-server -log-level debug         # structured lifecycle logs on stderr
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,10 +31,19 @@ import (
 	"gllm/internal/gpu"
 	"gllm/internal/model"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/runtime"
 	"gllm/internal/sched"
 	"gllm/internal/server"
 )
+
+// srvOptions carries the observability toggles so run's positional list
+// stops growing.
+type srvOptions struct {
+	traceOut string
+	pprofOn  bool
+	logLevel string
+}
 
 func main() {
 	var (
@@ -57,22 +74,52 @@ func main() {
 			"fault injection: pipeline stage to stall (-1 disables)")
 		stallDuration = flag.Duration("stall-duration", 0,
 			"fault injection: wall-clock stall per micro-batch at -stall-stage")
+
+		traceOut = flag.String("trace-out", "",
+			"write per-stage exec/xfer/prep spans as Chrome trace-event JSON on shutdown")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof profiling handlers under /debug/pprof/")
+		logLevel = flag.String("log-level", "info",
+			"structured log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	opts := srvOptions{traceOut: *traceOut, pprofOn: *pprofOn, logLevel: *logLevel}
 	if err := run(*port, *modelPath, *pp, *gpuName, *memUtil, *schedName, *naive, *budget,
 		core.Params{IterT: *iterT, MaxP: *maxP, MinP: *minP, KVThresh: *kvThresh},
 		*timeScale, *syncRuntime, *enableCPP, *prefixCache,
-		*drainTimeout, *watchdogTimeout, *admitKVFactor, *stallStage, *stallDuration); err != nil {
+		*drainTimeout, *watchdogTimeout, *admitKVFactor, *stallStage, *stallDuration,
+		opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-server:", err)
 		os.Exit(1)
 	}
+}
+
+// parseLevel maps the -log-level flag onto a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
 }
 
 func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 	schedName string, naive bool, budget int, params core.Params,
 	timeScale float64, syncRuntime, enableCPP, prefixCache bool,
 	drainTimeout, watchdogTimeout time.Duration, admitKVFactor float64,
-	stallStage int, stallDuration time.Duration) error {
+	stallStage int, stallDuration time.Duration, opts srvOptions) error {
+
+	level, err := parseLevel(opts.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	m, err := model.ByName(modelPath)
 	if err != nil {
@@ -97,8 +144,11 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 			}
 			return 0
 		}
-		fmt.Printf("gllm-server: FAULT INJECTION: stalling stage %d by %v per micro-batch\n",
-			stallStage, stallDuration)
+		logger.Warn("fault injection enabled", "stage", stallStage, "stall", stallDuration)
+	}
+	var rec *obs.Recorder
+	if opts.traceOut != "" {
+		rec = obs.NewRecorder(pp, 0)
 	}
 	rt, err := runtime.Start(runtime.Config{
 		Model:             m,
@@ -113,13 +163,27 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 		AdmitKVFactor:     admitKVFactor,
 		WatchdogTimeout:   watchdogTimeout,
 		StageFault:        fault,
+		Spans:             rec,
+		Logger:            logger,
 	})
 	if err != nil {
 		return err
 	}
 
+	handler := http.Handler(server.New(rt, m.Name))
+	if opts.pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	addr := fmt.Sprintf(":%d", port)
-	httpSrv := &http.Server{Addr: addr, Handler: server.New(rt, m.Name)}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	// First signal: graceful — stop accepting connections, drain queued and
 	// in-flight generation up to -drain-timeout. Second signal: abort
@@ -128,25 +192,50 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
-		fmt.Fprintf(os.Stderr, "gllm-server: draining (up to %v; signal again to abort)\n", drainTimeout)
+		logger.Info("draining", "timeout", drainTimeout)
 		go func() {
 			<-sigCh
-			fmt.Fprintln(os.Stderr, "gllm-server: aborting")
+			logger.Warn("aborting")
 			_ = rt.Close()
 		}()
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := rt.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "gllm-server: drain incomplete: %v\n", err)
+			logger.Warn("drain incomplete", "err", err)
 		}
 		_ = httpSrv.Shutdown(ctx)
 	}()
 
-	fmt.Printf("gllm-server: serving %s (pp=%d, %s scheduler, async=%v) on %s\n",
-		m.Name, pp, s.Name(), !syncRuntime, addr)
-	fmt.Printf("gllm-server: KV capacity %d tokens\n", rt.KVCapacityTokens())
+	logger.Info("serving",
+		"model", m.Name, "pp", pp, "scheduler", s.Name(), "async", !syncRuntime,
+		"addr", addr, "kv_capacity_tokens", rt.KVCapacityTokens())
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}
+	if rec != nil {
+		if err := writeTrace(opts.traceOut, rec, rt, logger); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace dumps the span recorder once the runtime has drained.
+func writeTrace(path string, rec *obs.Recorder, rt *runtime.Runtime, logger *slog.Logger) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	acc := rec.AccountOver(rt.Stats().Uptime)
+	logger.Info("trace written",
+		"path", path, "spans", acc.Spans, "dropped", acc.Dropped,
+		"bubble_rate", fmt.Sprintf("%.3f", acc.BubbleRate))
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"gllm/internal/invariant"
 	"gllm/internal/model"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/sched"
 	"gllm/internal/stats"
 	"gllm/internal/workload"
@@ -57,6 +58,7 @@ func main() {
 		costAware   = flag.Bool("cost-aware", false, "attention-aware decode balancing (gLLM scheduler only)")
 		convs       = flag.Bool("conversations", false, "synthesize multi-turn conversations instead of independent requests")
 		checkInv    = flag.Bool("check-invariants", false, "audit every scheduling cycle against the invariant catalogue (see internal/invariant)")
+		traceOut    = flag.String("trace-out", "", "write the obs span recorder as Chrome trace-event JSON (per-stage exec/xfer/prep lanes) and print per-stage bubble accounting")
 	)
 	flag.Parse()
 	opts := simOptions{
@@ -65,6 +67,7 @@ func main() {
 		costAware:   *costAware,
 		convs:       *convs,
 		checkInv:    *checkInv,
+		traceOut:    *traceOut,
 	}
 	if err := run(*modelName, *gpuName, *nodes, *gpusPerNode, *parallelism, *schedName,
 		*runtimeName, *datasetName, *tracePath, *rate, *window, *seed, *memUtil, *budget,
@@ -82,6 +85,7 @@ type simOptions struct {
 	costAware   bool
 	convs       bool
 	checkInv    bool
+	traceOut    string
 }
 
 func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedName,
@@ -176,6 +180,15 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 		col = invariant.NewCollector(invariant.Options{})
 		cfg.Observer = col.Observer
 	}
+	var rec *obs.Recorder
+	if opts.traceOut != "" {
+		stages := topo.GPUs()
+		if parallelism == "tp" {
+			stages = 1 // the TP engine is one fused device
+		}
+		rec = obs.NewRecorder(stages, 0)
+		cfg.Spans = rec
+	}
 
 	var res *engine.Result
 	switch parallelism {
@@ -205,6 +218,22 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 		fmt.Printf("  SLO attainment (ttft<=%v, tpot<=%v): %.1f%%\n", sloTTFT, sloTPOT, att*100)
 	}
 
+	if rec != nil {
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		acc := rec.AccountOver(res.Makespan)
+		fmt.Printf("trace-out: %s (%d spans, %d dropped)\n", opts.traceOut, acc.Spans, acc.Dropped)
+		fmt.Print(acc.String())
+	}
 	if chromeTrace != "" && res.Trace != nil {
 		f, err := os.Create(chromeTrace)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gllm/internal/core"
+	"gllm/internal/obs"
 	"gllm/internal/stats"
 	"gllm/internal/workload"
 )
@@ -32,6 +33,32 @@ func TestRunSmoke(t *testing.T) {
 		if st.Size() == 0 {
 			t.Fatalf("%s empty", f)
 		}
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "spans.json")
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+		2, 5*time.Second, 7, 0.9, 2048, params(),
+		"", "", "", 0, 0, simOptions{traceOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dec, err := obs.ReadChrome(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stages != 4 {
+		t.Fatalf("decoded stages = %d", dec.Stages)
+	}
+	if len(dec.Spans) == 0 {
+		t.Fatal("no spans in trace-out file")
 	}
 }
 

@@ -1,0 +1,52 @@
+// Command gllm-tracecheck validates a Chrome trace-event JSON file produced
+// by gllm-sim/gllm-server -trace-out and prints its bubble accounting. It
+// exits nonzero if the file is not a well-formed span trace, which makes it
+// usable as a round-trip smoke check in CI:
+//
+//	gllm-sim -rate 2 -window 5s -trace-out spans.json
+//	gllm-tracecheck -stages 4 spans.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gllm/internal/obs"
+)
+
+func main() {
+	var (
+		stages = flag.Int("stages", 0, "expected pipeline stage count (0 = accept any)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gllm-tracecheck [-stages N] trace.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *stages, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gllm-tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, stages int, out *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec, err := obs.ReadChrome(f)
+	if err != nil {
+		return err
+	}
+	if stages > 0 && dec.Stages != stages {
+		return fmt.Errorf("%s: decoded %d stages, expected %d", path, dec.Stages, stages)
+	}
+	// Account over the span extent: the trace file carries no makespan, so
+	// the window is the earliest start to the latest end.
+	acc := dec.Account(0)
+	fmt.Fprintf(out, "%s: %d spans across %d stages\n", path, len(dec.Spans), dec.Stages)
+	fmt.Fprint(out, acc.String())
+	return nil
+}

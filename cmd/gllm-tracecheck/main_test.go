@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gllm/internal/obs"
+)
+
+func writeSample(t *testing.T, stages int) string {
+	t.Helper()
+	rec := obs.NewRecorder(stages, 0)
+	for i := 0; i < stages; i++ {
+		start := time.Duration(i) * time.Millisecond
+		rec.Record(i, obs.KindExec, i, 16, start, start+time.Millisecond)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidTrace(t *testing.T) {
+	path := writeSample(t, 4)
+	if err := run(path, 4, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// Stage count 0 accepts any trace.
+	if err := run(path, 0, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStageMismatch(t *testing.T) {
+	path := writeSample(t, 2)
+	if err := run(path, 4, os.Stdout); err == nil {
+		t.Fatal("stage mismatch accepted")
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"not":"a trace"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0, os.Stdout); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"gllm/internal/gpu"
 	"gllm/internal/kvcache"
 	"gllm/internal/metrics"
+	"gllm/internal/obs"
 	"gllm/internal/request"
 	"gllm/internal/sched"
 	"gllm/internal/sim"
@@ -171,10 +172,13 @@ func RunDisaggregated(cfg DisaggConfig, items []workload.Item) (*Result, error) 
 		KVTransfers:     r.transfers,
 		KVTransferBytes: r.transferBytes,
 	}
+	for _, st := range append(append([]*sim.Resource{}, r.prefill.stages...), r.decode.stages...) {
+		res.StageBusy = append(res.StageBusy, st.BusyTime())
+	}
 	if makespan > 0 {
 		var busy time.Duration
-		for _, st := range append(append([]*sim.Resource{}, r.prefill.stages...), r.decode.stages...) {
-			busy += st.BusyTime()
+		for _, b := range res.StageBusy {
+			busy += b
 		}
 		res.BubbleFraction = 1 - float64(busy)/float64(makespan*time.Duration(total))
 	}
@@ -208,18 +212,24 @@ func (r *disaggRun) tryInject(rep *replica) {
 		rep.inFlight++
 		r.injections++
 		shape := b.Shape()
-		r.startStage(rep, 0, b, shape)
+		r.startStage(rep, 0, b, shape, r.injections)
 	}
 }
 
-func (r *disaggRun) startStage(rep *replica, i int, b *sched.Batch, shape gpu.BatchShape) {
+func (r *disaggRun) startStage(rep *replica, i int, b *sched.Batch, shape gpu.BatchShape, seq int) {
 	dur := r.cost.StageTime(shape, rep.stageLayers[i])
 	rep.stages[i].Submit(dur, func() {
+		now := r.eng.Now()
+		// Span stages use global indices: prefill stages first, then decode
+		// (replicaHop yields exactly that mapping).
+		r.cfg.Spans.Record(replicaHop(rep, r, i), obs.KindExec, seq, shape.Tokens(), now-dur, now)
 		if i+1 < len(rep.stages) {
 			actBytes := int64(shape.Tokens()) * r.cfg.Model.ActivationBytesPerToken()
 			// Intra-replica hop: adjacent GPUs.
-			xfer := r.cfg.Topo.Hop(replicaHop(rep, r, i)).TransferTime(actBytes)
-			r.eng.After(xfer, func() { r.startStage(rep, i+1, b, shape) })
+			hop := replicaHop(rep, r, i)
+			xfer := r.cfg.Topo.Hop(hop).TransferTime(actBytes)
+			r.cfg.Spans.Record(hop, obs.KindXfer, seq, shape.Tokens(), now, now+xfer)
+			r.eng.After(xfer, func() { r.startStage(rep, i+1, b, shape, seq) })
 			return
 		}
 		r.completeBatch(rep, b)
@@ -263,6 +273,8 @@ func (r *disaggRun) completeBatch(rep *replica, b *sched.Batch) {
 			kvBytes := int64(req.ContextLen()) * r.cfg.Model.KVBytesPerToken()
 			// The hand-off crosses the boundary hop between the replicas.
 			xfer := r.cfg.Topo.Hop(r.cfg.PrefillGPUs - 1).TransferTime(kvBytes)
+			r.cfg.Spans.Record(r.cfg.PrefillGPUs-1, obs.KindXfer, int(req.ID), req.ContextLen(),
+				r.eng.Now(), r.eng.Now()+xfer)
 			r.transfers++
 			r.transferBytes += kvBytes
 			r.eng.After(xfer, func() {

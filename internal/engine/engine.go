@@ -16,6 +16,7 @@ import (
 	"gllm/internal/metrics"
 	"gllm/internal/model"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/request"
 	"gllm/internal/sched"
 	"gllm/internal/stats"
@@ -153,6 +154,12 @@ type Config struct {
 	// disaggregated engine builds one observer per replica.
 	Observer func(p *sched.Pool, s sched.Scheduler) BatchObserver
 
+	// Spans, when non-nil, receives per-stage, per-micro-batch
+	// execute/transfer/prep spans (Chrome-trace exportable via
+	// obs.Recorder.WriteChrome). Its stage count must cover the topology's
+	// GPUs. A nil recorder costs nothing on the micro-batch path.
+	Spans *obs.Recorder
+
 	// EnableTrace records per-stage spans (Chrome-trace exportable).
 	EnableTrace bool
 	// UtilSampleEvery, when positive, samples per-stage utilization on that
@@ -223,6 +230,10 @@ type Result struct {
 	Makespan time.Duration
 	// BubbleFraction is the stage idle fraction over the makespan.
 	BubbleFraction float64
+	// StageBusy is each stage's cumulative execute time over the run (the
+	// numerators of BubbleFraction; one entry per pipeline stage, prefill
+	// stages first for the disaggregated engine).
+	StageBusy []time.Duration
 	// KVCapacityTokens is the derived cluster KV capacity.
 	KVCapacityTokens int64
 	// KVTransfers / KVTransferBytes count prefill→decode KV-cache

@@ -8,6 +8,7 @@ import (
 	"gllm/internal/kvcache"
 	"gllm/internal/metrics"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/sched"
 	"gllm/internal/sim"
 	"gllm/internal/stats"
@@ -164,8 +165,14 @@ func (r *pipelineRun) tryInject() {
 		})
 		prep := r.cfg.Runtime.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
 		if r.cfg.Runtime.Coupled {
-			r.driverCPU.Submit(prep, func() { r.startStage(0, fb) })
+			r.driverCPU.Submit(prep, func() {
+				now := r.eng.Now()
+				r.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, fb.seq, fb.shape.Tokens(), now-prep, now)
+				r.startStage(0, fb)
+			})
 		} else if prep > 0 {
+			now := r.eng.Now()
+			r.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, fb.seq, fb.shape.Tokens(), now, now+prep)
 			r.eng.After(prep, func() { r.startStage(0, fb) })
 		} else {
 			r.startStage(0, fb)
@@ -182,9 +189,11 @@ func (r *pipelineRun) startStage(i int, fb *inFlightBatch) {
 		if r.tr != nil {
 			r.tr.Add(i, fmt.Sprintf("mb%d", fb.seq), now-dur, now, fb.shape.Tokens())
 		}
+		r.cfg.Spans.Record(i, obs.KindExec, fb.seq, fb.shape.Tokens(), now-dur, now)
 		if i+1 < len(r.stages) {
 			actBytes := int64(fb.shape.Tokens()) * r.cfg.Model.ActivationBytesPerToken()
 			xfer := r.topo.Hop(i).TransferTime(actBytes)
+			r.cfg.Spans.Record(i, obs.KindXfer, fb.seq, fb.shape.Tokens(), now, now+xfer)
 			r.eng.After(xfer, func() { r.startStage(i+1, fb) })
 			return
 		}
@@ -246,10 +255,14 @@ func (r *pipelineRun) result(kvCap int64) *Result {
 		Makespan:         makespan,
 		KVCapacityTokens: kvCap,
 	}
+	res.StageBusy = make([]time.Duration, len(r.stages))
+	for i, st := range r.stages {
+		res.StageBusy[i] = st.BusyTime()
+	}
 	if makespan > 0 {
 		var busy time.Duration
-		for _, st := range r.stages {
-			busy += st.BusyTime()
+		for _, b := range res.StageBusy {
+			busy += b
 		}
 		res.BubbleFraction = 1 - float64(busy)/float64(makespan*time.Duration(len(r.stages)))
 	}

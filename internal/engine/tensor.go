@@ -8,6 +8,7 @@ import (
 	"gllm/internal/kvcache"
 	"gllm/internal/metrics"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/sched"
 	"gllm/internal/sim"
 	"gllm/internal/workload"
@@ -108,6 +109,7 @@ func RunTensor(cfg Config, items []workload.Item) (*Result, error) {
 		Injections:       r.injections,
 		Makespan:         makespan,
 		KVCapacityTokens: kvCap,
+		StageBusy:        []time.Duration{r.device.BusyTime()},
 	}
 	if makespan > 0 {
 		res.BubbleFraction = 1 - float64(r.device.BusyTime())/float64(makespan)
@@ -156,11 +158,14 @@ func (r *tensorRun) tryInject() {
 		Decode:  b.DecodeTokens(),
 	})
 	iter := tensorIterationTime(r.cost, r.cfg.Topo, shape)
+	seq := r.injections
 	run := func() {
 		r.device.Submit(iter, func() {
 			if r.aborted != nil {
 				return
 			}
+			now := r.eng.Now()
+			r.cfg.Spans.Record(0, obs.KindExec, seq, shape.Tokens(), now-iter, now)
 			finished := r.pool.Complete(b, r.eng.Now())
 			for _, f := range finished {
 				r.collector.Observe(f)
@@ -180,8 +185,14 @@ func (r *tensorRun) tryInject() {
 	}
 	prep := r.cfg.Runtime.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
 	if r.cfg.Runtime.Coupled {
-		r.driverCPU.Submit(prep, run)
+		r.driverCPU.Submit(prep, func() {
+			now := r.eng.Now()
+			r.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, seq, shape.Tokens(), now-prep, now)
+			run()
+		})
 	} else if prep > 0 {
+		now := r.eng.Now()
+		r.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, seq, shape.Tokens(), now, now+prep)
 		r.eng.After(prep, run)
 	} else {
 		run()

@@ -47,8 +47,17 @@ func TestFig4UtilizationShape(t *testing.T) {
 	if len(res.StageUtil) != 4 {
 		t.Fatalf("stage series = %d", len(res.StageUtil))
 	}
-	if res.String() == "" {
-		t.Fatal("empty render")
+	// Per-stage bubble accounting rides along with the aggregate fraction.
+	if len(res.StageBusy) != 4 || len(res.StageBubble) != 4 {
+		t.Fatalf("stage accounting = %d busy, %d bubble", len(res.StageBusy), len(res.StageBubble))
+	}
+	for i, b := range res.StageBubble {
+		if b < 0 || b >= 1 || res.StageBusy[i] <= 0 {
+			t.Fatalf("stage %d: busy=%v bubble=%v", i, res.StageBusy[i], b)
+		}
+	}
+	if !strings.Contains(res.String(), "stage0: busy=") {
+		t.Fatal("String() missing per-stage accounting")
 	}
 }
 

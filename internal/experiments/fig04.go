@@ -33,6 +33,12 @@ type Fig4Result struct {
 	// TokenCV is the coefficient of variation of batched token counts.
 	TokenCV        float64
 	BubbleFraction float64
+	// StageBusy is each stage's cumulative execute time over the run, and
+	// StageBubble the matching per-stage bubble rate (idle/makespan) — the
+	// paper's §3 per-stage accounting, from the engine's span recorder
+	// ground truth.
+	StageBusy   []time.Duration
+	StageBubble []float64
 }
 
 // Fig4Utilization runs the experiment. rate controls the arrival intensity
@@ -58,7 +64,15 @@ func Fig4Utilization(sc Scale, rate float64, sys System) (*Fig4Result, error) {
 		System:         sys.Name,
 		StageUtil:      res.StageUtil,
 		BubbleFraction: res.BubbleFraction,
+		StageBusy:      res.StageBusy,
 		Tokens:         stats.NewTimeSeries("batched-tokens"),
+	}
+	for _, busy := range res.StageBusy {
+		bubble := 0.0
+		if res.Makespan > 0 {
+			bubble = 1 - busy.Seconds()/res.Makespan.Seconds()
+		}
+		out.StageBubble = append(out.StageBubble, bubble)
 	}
 	var phaseSplit time.Duration
 	for _, it := range res.Iterations {
@@ -89,10 +103,14 @@ func Fig4Utilization(sc Scale, rate float64, sys System) (*Fig4Result, error) {
 
 // String renders the utilization summary.
 func (r *Fig4Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"Figure 4 — %s GPU utilization (32B, 4 GPUs)\n"+
 			"  mean util=%.2f  phase1(mixed)=%.2f  phase2(decode-only)=%.2f\n"+
 			"  batched-token CV=%.3f  bubble fraction=%.2f  phase split at %.1fs\n",
 		r.System, r.MeanUtil, r.UtilPhase1, r.UtilPhase2, r.TokenCV, r.BubbleFraction,
 		r.PhaseSplit.Seconds())
+	for i, busy := range r.StageBusy {
+		s += fmt.Sprintf("  stage%d: busy=%.1fs bubble=%.2f\n", i, busy.Seconds(), r.StageBubble[i])
+	}
+	return s
 }

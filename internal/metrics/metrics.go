@@ -5,44 +5,56 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"gllm/internal/request"
 	"gllm/internal/stats"
 )
 
-// Record is the outcome of one finished request.
+// Record is the outcome of one terminated request.
 type Record struct {
 	ID           int64
 	Arrival      time.Duration
 	TTFT         time.Duration
 	TPOT         time.Duration
 	E2E          time.Duration
+	Queue        time.Duration // arrival → first schedule delay
 	PromptTokens int
 	OutputTokens int
 	Preemptions  int
-	// FinishReason records how the request terminated ("length" for a full
-	// generation; clients may record "cancelled"/"timeout" outcomes).
+	// FinishReason records how the request terminated: "" or "length" for a
+	// completed generation; aborted requests carry their abort reason
+	// ("cancelled", "timeout", "shutdown", ...).
 	FinishReason string
 }
 
-// Collector accumulates finished-request records.
+// Completed reports whether the record is a full generation (as opposed to
+// an aborted one). Latency summaries cover only completed records.
+func (r Record) Completed() bool {
+	return r.FinishReason == "" || r.FinishReason == "length"
+}
+
+// Collector accumulates terminated-request records. All methods are safe
+// for concurrent use.
 type Collector struct {
+	mu      sync.Mutex
 	records []Record
 }
 
-// Observe records a finished request. It panics when the request has not
+// Observe records a completed request. It panics when the request has not
 // finished — collecting partial requests would corrupt every average.
 func (c *Collector) Observe(r *request.Request) {
 	if !r.Finished() {
 		panic(fmt.Sprintf("metrics: observing unfinished %v", r))
 	}
-	c.records = append(c.records, Record{
+	c.Add(Record{
 		ID:           r.ID,
 		Arrival:      r.Arrival,
 		TTFT:         r.TTFT(),
 		TPOT:         r.TPOT(),
 		E2E:          r.E2E(),
+		Queue:        r.FirstSchedule - r.Arrival,
 		PromptTokens: r.PromptLen,
 		OutputTokens: r.Generated(),
 		Preemptions:  r.Preemptions,
@@ -50,34 +62,97 @@ func (c *Collector) Observe(r *request.Request) {
 	})
 }
 
+// ObserveAborted records a request terminated before completion with its
+// real terminal reason ("cancelled", "timeout", "shutdown"). It panics on a
+// completed request — that is Observe's job. Aborted records contribute
+// token counts but are excluded from latency summaries (TTFT is kept when
+// the request got a first token before dying; TPOT/E2E are undefined and
+// left zero).
+func (c *Collector) ObserveAborted(r *request.Request, reason string) {
+	if r.Finished() {
+		panic(fmt.Sprintf("metrics: ObserveAborted on finished %v", r))
+	}
+	if reason == "" || reason == "length" {
+		panic(fmt.Sprintf("metrics: aborted %v with completion reason %q", r, reason))
+	}
+	rec := Record{
+		ID:           r.ID,
+		Arrival:      r.Arrival,
+		PromptTokens: r.PromptLen,
+		OutputTokens: r.Generated(),
+		Preemptions:  r.Preemptions,
+		FinishReason: reason,
+	}
+	if r.FirstSchedule > 0 {
+		rec.Queue = r.FirstSchedule - r.Arrival
+	}
+	if r.HasFirstToken() {
+		rec.TTFT = r.TTFT()
+	}
+	c.Add(rec)
+}
+
 // Add records a raw record (used by the HTTP benchmark client, which has no
 // *request.Request).
-func (c *Collector) Add(rec Record) { c.records = append(c.records, rec) }
+func (c *Collector) Add(rec Record) {
+	c.mu.Lock()
+	c.records = append(c.records, rec)
+	c.mu.Unlock()
+}
 
-// Count returns the number of finished requests.
-func (c *Collector) Count() int { return len(c.records) }
+// Count returns the number of recorded requests (completed and aborted).
+func (c *Collector) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
 
-// Records returns the collected records (shared slice; treat as read-only).
-func (c *Collector) Records() []Record { return c.records }
+// Records returns a snapshot copy of the collected records.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.records...)
+}
+
+// ByReason returns how many records terminated with each finish reason
+// (completed generations count under "length").
+func (c *Collector) ByReason() map[string]int {
+	out := make(map[string]int)
+	for _, r := range c.Records() {
+		reason := r.FinishReason
+		if reason == "" {
+			reason = "length"
+		}
+		out[reason]++
+	}
+	return out
+}
 
 // Report summarizes the collected requests over the given elapsed serving
-// time (used as the throughput denominator).
+// time (used as the throughput denominator). Latency summaries cover only
+// completed generations; token and preemption totals cover every record so
+// aborted work still shows up in throughput accounting.
 func (c *Collector) Report(elapsed time.Duration) Report {
-	ttft := make([]float64, len(c.records))
-	tpot := make([]float64, len(c.records))
-	e2e := make([]float64, len(c.records))
+	records := c.Records()
+	var ttft, tpot, e2e []float64
 	var inTok, outTok int64
-	preempt := 0
-	for i, r := range c.records {
-		ttft[i] = r.TTFT.Seconds()
-		tpot[i] = r.TPOT.Seconds()
-		e2e[i] = r.E2E.Seconds()
+	preempt, completed, aborted := 0, 0, 0
+	for _, r := range records {
 		inTok += int64(r.PromptTokens)
 		outTok += int64(r.OutputTokens)
 		preempt += r.Preemptions
+		if !r.Completed() {
+			aborted++
+			continue
+		}
+		completed++
+		ttft = append(ttft, r.TTFT.Seconds())
+		tpot = append(tpot, r.TPOT.Seconds())
+		e2e = append(e2e, r.E2E.Seconds())
 	}
 	rep := Report{
-		Requests:     len(c.records),
+		Requests:     completed,
+		Aborted:      aborted,
 		Elapsed:      elapsed,
 		TTFT:         stats.Summarize(ttft),
 		TPOT:         stats.Summarize(tpot),
@@ -90,7 +165,7 @@ func (c *Collector) Report(elapsed time.Duration) Report {
 		sec := elapsed.Seconds()
 		rep.TokenThroughput = float64(inTok+outTok) / sec
 		rep.OutputThroughput = float64(outTok) / sec
-		rep.RequestThroughput = float64(len(c.records)) / sec
+		rep.RequestThroughput = float64(completed) / sec
 	}
 	return rep
 }
@@ -99,21 +174,23 @@ func (c *Collector) Report(elapsed time.Duration) Report {
 // TPOT constraints (the paper's goodput definition, e.g. "ttft:2000
 // tpot:100" in ms). An empty collector attains 0.
 func (c *Collector) SLOAttainment(ttftLimit, tpotLimit time.Duration) float64 {
-	if len(c.records) == 0 {
+	records := c.Records()
+	if len(records) == 0 {
 		return 0
 	}
 	ok := 0
-	for _, r := range c.records {
-		if r.TTFT <= ttftLimit && r.TPOT <= tpotLimit {
+	for _, r := range records {
+		if r.Completed() && r.TTFT <= ttftLimit && r.TPOT <= tpotLimit {
 			ok++
 		}
 	}
-	return float64(ok) / float64(len(c.records))
+	return float64(ok) / float64(len(records))
 }
 
 // Report is the summarized outcome of one serving run.
 type Report struct {
-	Requests          int
+	Requests          int // completed generations
+	Aborted           int // cancelled / timed out / shut down
 	Elapsed           time.Duration
 	TTFT              stats.Summary // seconds
 	TPOT              stats.Summary // seconds
@@ -129,7 +206,11 @@ type Report struct {
 // String renders the report as the experiment tables print it.
 func (r Report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "requests=%d elapsed=%.1fs\n", r.Requests, r.Elapsed.Seconds())
+	fmt.Fprintf(&sb, "requests=%d elapsed=%.1fs", r.Requests, r.Elapsed.Seconds())
+	if r.Aborted > 0 {
+		fmt.Fprintf(&sb, " aborted=%d", r.Aborted)
+	}
+	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "  TTFT  mean=%.3fs p99=%.3fs\n", r.TTFT.Mean, r.TTFT.P99)
 	fmt.Fprintf(&sb, "  TPOT  mean=%.1fms p99=%.1fms\n", r.TPOT.Mean*1e3, r.TPOT.P99*1e3)
 	fmt.Fprintf(&sb, "  E2EL  mean=%.3fs p99=%.3fs\n", r.E2E.Mean, r.E2E.P99)

@@ -1,9 +1,11 @@
 package runtime
 
 import (
+	"log/slog"
 	"time"
 
 	"gllm/internal/kvcache"
+	"gllm/internal/obs"
 	"gllm/internal/request"
 	"gllm/internal/sched"
 )
@@ -64,6 +66,11 @@ func (rt *Runtime) driverLoop() {
 		rt.admittedKV.Add(-sub.kvDemand)
 		if reason != FinishLength {
 			cancelled++
+			// Record the abort with its real terminal reason so it never
+			// pollutes completion latency stats.
+			rt.collector.ObserveAborted(sub.req, string(reason))
+			rt.logEvent(slog.LevelInfo, "request aborted",
+				"id", sub.req.ID, "reason", string(reason), "generated", sub.req.Generated())
 		}
 	}
 
@@ -117,9 +124,7 @@ func (rt *Runtime) driverLoop() {
 			sub.events <- ev
 		}
 		if r.Finished() {
-			rt.mu.Lock()
 			rt.collector.Observe(r)
-			rt.mu.Unlock()
 			finishSub(sub, FinishLength)
 		}
 	}
@@ -138,6 +143,7 @@ func (rt *Runtime) driverLoop() {
 			rt.beat()
 			mb := &microBatch{seq: seq, batch: b, shape: b.Shape()}
 			prep := rt.cfg.Prep.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
+			prepStart := time.Since(rt.start)
 			if rt.cfg.Async {
 				// Dual-phase: metadata first, to every stage, so workers
 				// prepare inputs while earlier batches still compute.
@@ -149,6 +155,8 @@ func (rt *Runtime) driverLoop() {
 				// Coupled runtime: input preparation on the critical path.
 				rt.sleepScaled(prep)
 			}
+			rt.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, mb.seq, mb.shape.Tokens(),
+				prepStart, time.Since(rt.start))
 			rt.workers[0].workCh <- mb
 		}
 	}
@@ -176,6 +184,8 @@ func (rt *Runtime) driverLoop() {
 		}
 		subs[sub.req.ID] = sub
 		pool.Add(sub.req)
+		rt.logEvent(slog.LevelDebug, "request admitted",
+			"id", sub.req.ID, "prompt", sub.req.PromptLen, "max_tokens", sub.req.OutputLen)
 	}
 
 	// handleCancel processes a cancellation notice from the frontend.
@@ -244,6 +254,8 @@ func (rt *Runtime) driverLoop() {
 		}
 		close(rt.workers[0].workCh)
 		updateSnapshot()
+		rt.logEvent(slog.LevelInfo, "runtime stopped",
+			"finished", finished, "cancelled", cancelled, "iterations", iterations)
 	}
 
 	stopCh := rt.stopCh
@@ -295,9 +307,13 @@ func (rt *Runtime) driverLoop() {
 		case <-stopCh:
 			stopCh = nil
 			draining = true
+			rt.logEvent(slog.LevelInfo, "drain started",
+				"resident", len(subs), "in_flight", inFlight)
 		case <-killCh:
 			killCh = nil
 			killed = true
+			rt.logEvent(slog.LevelWarn, "kill requested",
+				"resident", len(subs), "in_flight", inFlight)
 		}
 		updateSnapshot()
 	}

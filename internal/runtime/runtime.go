@@ -58,6 +58,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,7 @@ import (
 	"gllm/internal/metrics"
 	"gllm/internal/model"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/request"
 	"gllm/internal/sched"
 )
@@ -118,6 +120,13 @@ type Config struct {
 	// degraded health, and shutdown-under-fault paths. Must be safe for
 	// concurrent use; Close cuts injected stalls short.
 	StageFault func(stage, seq int) time.Duration
+	// Spans, when non-nil, receives per-stage execute/transfer and driver
+	// prep spans (wall-clock, relative to runtime start). Its stage count
+	// must cover the topology's GPUs. Nil costs nothing per micro-batch.
+	Spans *obs.Recorder
+	// Logger, when non-nil, receives structured lifecycle logs
+	// (admit/reject/abort/drain/degrade). Nil disables logging.
+	Logger *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -233,6 +242,14 @@ type Snapshot struct {
 	// Health is one of HealthOK, HealthDegraded, HealthDraining,
 	// HealthStopped.
 	Health string
+	// Uptime is the wall-clock time since the runtime started.
+	Uptime time.Duration
+	// StageBusySeconds is each stage worker's cumulative execute time
+	// (emulated compute occupancy; zero when TimeScale is 0).
+	StageBusySeconds []float64
+	// BubbleRate is the aggregate pipeline bubble rate over the uptime:
+	// 1 − Σ_s busy_s / (stages × uptime), the paper's §3 quantity.
+	BubbleRate float64
 }
 
 // Runtime is a live serving deployment.
@@ -419,6 +436,9 @@ func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group i
 		if rt.admittedKV.Add(demand) > rt.admitLimit {
 			rt.admittedKV.Add(-demand)
 			rt.rejected.Add(1)
+			rt.logEvent(slog.LevelWarn, "submission rejected",
+				"reason", "kv_admission", "prompt", promptLen, "max_tokens", maxTokens,
+				"limit_tokens", rt.admitLimit)
 			return nil, fmt.Errorf("%w: projected KV demand exceeds %d-token admission limit",
 				ErrQueueFull, rt.admitLimit)
 		}
@@ -445,6 +465,8 @@ func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group i
 	default:
 		rt.admittedKV.Add(-demand)
 		rt.rejected.Add(1)
+		rt.logEvent(slog.LevelWarn, "submission rejected",
+			"reason", "queue_full", "id", id, "depth", cap(rt.submitCh))
 		return nil, fmt.Errorf("%w: submit queue saturated (depth %d)", ErrQueueFull, cap(rt.submitCh))
 	}
 	if ctx.Done() != nil {
@@ -482,6 +504,16 @@ func (rt *Runtime) Stats() Snapshot {
 	s := rt.snapshot
 	rt.mu.Unlock()
 	s.Rejected = rt.rejected.Load()
+	s.Uptime = time.Since(rt.start)
+	s.StageBusySeconds = make([]float64, len(rt.workers))
+	var busy float64
+	for i, w := range rt.workers {
+		s.StageBusySeconds[i] = time.Duration(w.busyNanos.Load()).Seconds()
+		busy += s.StageBusySeconds[i]
+	}
+	if s.Uptime > 0 {
+		s.BubbleRate = 1 - busy/(s.Uptime.Seconds()*float64(len(rt.workers)))
+	}
 	switch {
 	case rt.isStopped():
 		s.Health = HealthStopped
@@ -515,9 +547,22 @@ func (rt *Runtime) isDraining() bool {
 
 // Report summarizes all finished requests so far.
 func (rt *Runtime) Report() metrics.Report {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	return rt.collector.Report(time.Since(rt.start))
+}
+
+// Metrics exposes the runtime's collector (safe for concurrent use; the
+// server builds its /metrics page from Records snapshots).
+func (rt *Runtime) Metrics() *metrics.Collector { return &rt.collector }
+
+// Start returns the runtime's wall-clock start time (span timestamps in
+// Config.Spans are relative to it).
+func (rt *Runtime) Start() time.Time { return rt.start }
+
+// logEvent emits a structured lifecycle log when a Logger is configured.
+func (rt *Runtime) logEvent(level slog.Level, msg string, args ...any) {
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Log(context.Background(), level, msg, args...)
+	}
 }
 
 // Shutdown drains the runtime gracefully: new submissions are refused, but
@@ -567,7 +612,15 @@ func (rt *Runtime) watchdogLoop() {
 			inFlight := rt.snapshot.InFlight
 			rt.mu.Unlock()
 			beat := time.Unix(0, rt.lastBeat.Load())
-			rt.degraded.Store(inFlight > 0 && time.Since(beat) > timeout)
+			cur := inFlight > 0 && time.Since(beat) > timeout
+			if prev := rt.degraded.Swap(cur); prev != cur {
+				if cur {
+					rt.logEvent(slog.LevelWarn, "health degraded",
+						"in_flight", inFlight, "stalled_for", time.Since(beat))
+				} else {
+					rt.logEvent(slog.LevelInfo, "health recovered")
+				}
+			}
 		}
 	}
 }

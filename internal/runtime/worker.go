@@ -3,6 +3,9 @@ package runtime
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gllm/internal/obs"
 )
 
 // worker is one pipeline-stage worker process. In async mode it runs two
@@ -24,6 +27,9 @@ type worker struct {
 	// activations arrived (observability for the overlap design).
 	preparedEarly atomic.Int64
 	computed      atomic.Int64
+	// busyNanos is the stage's cumulative execute wall-clock time (the
+	// numerator of Snapshot.BubbleRate).
+	busyNanos atomic.Int64
 }
 
 func newWorker(rt *Runtime, idx int) *worker {
@@ -116,11 +122,17 @@ func (w *worker) computeLoop() {
 				w.rt.sleepWall(d)
 			}
 		}
+		execStart := time.Since(w.rt.start)
 		w.rt.sleepScaled(w.rt.cost.StageTime(mb.shape, w.layers))
+		execEnd := time.Since(w.rt.start)
+		w.busyNanos.Add(int64(execEnd - execStart))
+		w.rt.cfg.Spans.Record(w.idx, obs.KindExec, mb.seq, mb.shape.Tokens(), execStart, execEnd)
 		w.computed.Add(1)
 		if w.next != nil {
 			actBytes := int64(mb.shape.Tokens()) * w.rt.cfg.Model.ActivationBytesPerToken()
 			w.rt.sleepScaled(w.rt.cfg.Topo.Hop(w.idx).TransferTime(actBytes))
+			w.rt.cfg.Spans.Record(w.idx, obs.KindXfer, mb.seq, mb.shape.Tokens(),
+				execEnd, time.Since(w.rt.start))
 			w.next.workCh <- mb
 			continue
 		}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleRe matches one Prometheus text-format sample line:
+// metric_name{label="value",...} <float>
+var sampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$`)
+
+// parseExposition validates every line of a /metrics page and returns the
+// sample values keyed by full series name (metric plus label set).
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment: %q", ln+1, line)
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("line %d: invalid sample: %q", ln+1, line)
+		}
+		sp := strings.LastIndex(line, " ")
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(strings.TrimPrefix(valStr, "+"), 64)
+		if err != nil {
+			t.Fatalf("line %d: value %q: %v", ln+1, valStr, err)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("line %d: duplicate series %s", ln+1, series)
+		}
+		samples[series] = val
+		// Every sample must belong to a declared family (histogram samples
+		// use the _bucket/_sum/_count suffixes of their family name).
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+				family = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("line %d: sample %s has no TYPE declaration", ln+1, series)
+		}
+	}
+	return samples
+}
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseExposition(t, string(body))
+}
+
+// checkHistogram asserts the family's buckets are cumulative, monotone, and
+// consistent with _count.
+func checkHistogram(t *testing.T, samples map[string]float64, name string) {
+	t.Helper()
+	prev := -1.0
+	prevBound := math.Inf(-1)
+	buckets := 0
+	for series, val := range samples {
+		if !strings.HasPrefix(series, name+"_bucket{") {
+			continue
+		}
+		buckets++
+		_ = val
+	}
+	if buckets == 0 {
+		t.Fatalf("%s: no buckets", name)
+	}
+	// Walk the buckets in bound order (the exposition emits them sorted,
+	// but assert from parsed values to be independent of ordering).
+	bounds := make([]float64, 0, buckets)
+	for series := range samples {
+		if !strings.HasPrefix(series, name+"_bucket{") {
+			continue
+		}
+		le := series[strings.Index(series, `le="`)+4 : strings.LastIndex(series, `"`)]
+		b := math.Inf(1)
+		if le != "+Inf" {
+			var err error
+			if b, err = strconv.ParseFloat(le, 64); err != nil {
+				t.Fatalf("%s: bad le %q", name, le)
+			}
+		}
+		bounds = append(bounds, b)
+	}
+	for i := 0; i < len(bounds); i++ {
+		for j := i + 1; j < len(bounds); j++ {
+			if bounds[j] < bounds[i] {
+				bounds[i], bounds[j] = bounds[j], bounds[i]
+			}
+		}
+	}
+	for _, b := range bounds {
+		le := "+Inf"
+		if !math.IsInf(b, 1) {
+			le = fmt.Sprintf("%g", b)
+		}
+		val, ok := samples[fmt.Sprintf(`%s_bucket{le="%s"}`, name, le)]
+		if !ok {
+			t.Fatalf("%s: missing bucket le=%s", name, le)
+		}
+		if b <= prevBound {
+			t.Fatalf("%s: bounds not strictly increasing at %g", name, b)
+		}
+		if val < prev {
+			t.Fatalf("%s: bucket counts not cumulative at le=%s (%g < %g)", name, le, val, prev)
+		}
+		prev, prevBound = val, b
+	}
+	if !math.IsInf(prevBound, 1) {
+		t.Fatalf("%s: no +Inf bucket", name)
+	}
+	count, ok := samples[name+"_count"]
+	if !ok {
+		t.Fatalf("%s: missing _count", name)
+	}
+	if prev != count {
+		t.Fatalf("%s: +Inf bucket %g != _count %g", name, prev, count)
+	}
+	if _, ok := samples[name+"_sum"]; !ok {
+		t.Fatalf("%s: missing _sum", name)
+	}
+}
+
+func TestMetricsExpositionIsValidPrometheus(t *testing.T) {
+	ts, _ := testServer(t)
+	// Serve a couple of requests so histograms are populated.
+	for i := 0; i < 3; i++ {
+		resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{"prompt_len": 32, "max_tokens": 4})
+		resp.Body.Close()
+	}
+
+	first := scrape(t, ts.URL+"/metrics")
+	for _, h := range []string{"gllm_ttft_seconds", "gllm_tpot_seconds", "gllm_e2el_seconds", "gllm_queue_delay_seconds"} {
+		checkHistogram(t, first, h)
+	}
+	if first[`gllm_requests_finished_total{reason="length"}`] != 3 {
+		t.Fatalf("finished counter = %v", first[`gllm_requests_finished_total{reason="length"}`])
+	}
+	if first["gllm_ttft_seconds_count"] != 3 {
+		t.Fatalf("ttft count = %v", first["gllm_ttft_seconds_count"])
+	}
+	if _, ok := first["gllm_bubble_rate"]; !ok {
+		t.Fatal("missing gllm_bubble_rate")
+	}
+	for stage := 0; stage < 4; stage++ {
+		if _, ok := first[fmt.Sprintf(`gllm_stage_busy_seconds{stage="%d"}`, stage)]; !ok {
+			t.Fatalf("missing stage %d busy series", stage)
+		}
+	}
+
+	// Counters and histogram series must never decrease across scrapes.
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{"prompt_len": 32, "max_tokens": 4})
+	resp.Body.Close()
+	second := scrape(t, ts.URL+"/metrics")
+	for series, before := range first {
+		if !strings.Contains(series, "_total") &&
+			!strings.Contains(series, "_bucket") &&
+			!strings.Contains(series, "_sum") &&
+			!strings.Contains(series, "_count") {
+			continue
+		}
+		after, ok := second[series]
+		if !ok {
+			t.Fatalf("series %s disappeared on the second scrape", series)
+		}
+		if after < before {
+			t.Fatalf("series %s decreased: %g -> %g", series, before, after)
+		}
+	}
+	if second["gllm_ttft_seconds_count"] != 4 {
+		t.Fatalf("second ttft count = %v", second["gllm_ttft_seconds_count"])
+	}
+}

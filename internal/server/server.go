@@ -9,9 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"gllm/internal/metrics"
 	"gllm/internal/runtime"
 )
 
@@ -255,27 +258,84 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(st)
 }
 
+// handleMetrics serves Prometheus text exposition (format 0.0.4). Counters
+// and histograms are built from a snapshot of the runtime's append-only
+// record list at scrape time, so every series is monotone across scrapes by
+// construction; gauges reflect the instantaneous Stats snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	rep := s.rt.Report()
+	records := s.rt.Metrics().Records()
 	st := s.rt.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "gllm_requests_finished %d\n", rep.Requests)
-	fmt.Fprintf(w, "gllm_ttft_mean_seconds %g\n", rep.TTFT.Mean)
-	fmt.Fprintf(w, "gllm_tpot_mean_seconds %g\n", rep.TPOT.Mean)
-	fmt.Fprintf(w, "gllm_e2el_mean_seconds %g\n", rep.E2E.Mean)
-	fmt.Fprintf(w, "gllm_token_throughput %g\n", rep.TokenThroughput)
-	fmt.Fprintf(w, "gllm_kv_free_rate %g\n", st.KVFreeRate)
-	fmt.Fprintf(w, "gllm_running_decode %d\n", st.RunningDecode)
-	fmt.Fprintf(w, "gllm_waiting_prefill_tokens %d\n", st.WaitingPrefill)
-	fmt.Fprintf(w, "gllm_iterations %d\n", st.Iterations)
-	fmt.Fprintf(w, "gllm_preemptions %d\n", st.Preemptions)
-	fmt.Fprintf(w, "gllm_requests_resident %d\n", st.Resident)
-	fmt.Fprintf(w, "gllm_requests_cancelled %d\n", st.Cancelled)
-	fmt.Fprintf(w, "gllm_requests_rejected %d\n", st.Rejected)
-	healthy := 0
+
+	byReason := map[string]int{}
+	var promptTok, outputTok int64
+	var ttft, tpot, e2e, queue []float64
+	for _, r := range records {
+		reason := r.FinishReason
+		if reason == "" {
+			reason = string(runtime.FinishLength)
+		}
+		byReason[reason]++
+		promptTok += int64(r.PromptTokens)
+		outputTok += int64(r.OutputTokens)
+		queue = append(queue, r.Queue.Seconds())
+		if !r.Completed() {
+			continue
+		}
+		ttft = append(ttft, r.TTFT.Seconds())
+		tpot = append(tpot, r.TPOT.Seconds())
+		e2e = append(e2e, r.E2E.Seconds())
+	}
+
+	metrics.WriteHeader(w, "gllm_requests_finished_total", "Terminated requests by finish reason.", "counter")
+	reasons := make([]string, 0, len(byReason))
+	for reason := range byReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		metrics.WriteSample(w, "gllm_requests_finished_total",
+			[]metrics.Label{{Name: "reason", Value: reason}}, float64(byReason[reason]))
+	}
+	metrics.WriteHeader(w, "gllm_requests_rejected_total", "Submissions refused by admission control.", "counter")
+	metrics.WriteSample(w, "gllm_requests_rejected_total", nil, float64(st.Rejected))
+	metrics.WriteHeader(w, "gllm_prompt_tokens_total", "Prompt tokens of terminated requests.", "counter")
+	metrics.WriteSample(w, "gllm_prompt_tokens_total", nil, float64(promptTok))
+	metrics.WriteHeader(w, "gllm_output_tokens_total", "Generated tokens of terminated requests.", "counter")
+	metrics.WriteSample(w, "gllm_output_tokens_total", nil, float64(outputTok))
+	metrics.WriteHeader(w, "gllm_iterations_total", "Micro-batches injected into the pipeline.", "counter")
+	metrics.WriteSample(w, "gllm_iterations_total", nil, float64(st.Iterations))
+	metrics.WriteHeader(w, "gllm_preemptions_total", "Requests preempted for KV pressure.", "counter")
+	metrics.WriteSample(w, "gllm_preemptions_total", nil, float64(st.Preemptions))
+
+	b := metrics.DefaultLatencyBuckets
+	metrics.WriteHistogram(w, "gllm_ttft_seconds", "Time to first token (completed requests).", b, ttft)
+	metrics.WriteHistogram(w, "gllm_tpot_seconds", "Mean time per output token after the first (completed requests).", b, tpot)
+	metrics.WriteHistogram(w, "gllm_e2el_seconds", "End-to-end request latency (completed requests).", b, e2e)
+	metrics.WriteHistogram(w, "gllm_queue_delay_seconds", "Arrival to first schedule delay (all terminated requests).", b, queue)
+
+	metrics.WriteHeader(w, "gllm_stage_busy_seconds", "Cumulative execute time per pipeline stage.", "counter")
+	for i, busy := range st.StageBusySeconds {
+		metrics.WriteSample(w, "gllm_stage_busy_seconds",
+			[]metrics.Label{{Name: "stage", Value: strconv.Itoa(i)}}, busy)
+	}
+	metrics.WriteHeader(w, "gllm_bubble_rate", "Aggregate pipeline bubble rate since start (paper §3).", "gauge")
+	metrics.WriteSample(w, "gllm_bubble_rate", nil, st.BubbleRate)
+
+	metrics.WriteHeader(w, "gllm_kv_free_rate", "Free fraction of the KV cache.", "gauge")
+	metrics.WriteSample(w, "gllm_kv_free_rate", nil, st.KVFreeRate)
+	metrics.WriteHeader(w, "gllm_running_decode", "Requests in the decode phase.", "gauge")
+	metrics.WriteSample(w, "gllm_running_decode", nil, float64(st.RunningDecode))
+	metrics.WriteHeader(w, "gllm_waiting_prefill_tokens", "Prompt tokens waiting for prefill.", "gauge")
+	metrics.WriteSample(w, "gllm_waiting_prefill_tokens", nil, float64(st.WaitingPrefill))
+	metrics.WriteHeader(w, "gllm_requests_resident", "Admitted, unfinished requests.", "gauge")
+	metrics.WriteSample(w, "gllm_requests_resident", nil, float64(st.Resident))
+	healthy := 0.0
 	if st.Health == runtime.HealthOK {
 		healthy = 1
 	}
-	fmt.Fprintf(w, "gllm_healthy %d\n", healthy)
-	fmt.Fprintf(w, "gllm_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	metrics.WriteHeader(w, "gllm_healthy", "1 while serving normally, 0 when degraded/draining/stopped.", "gauge")
+	metrics.WriteSample(w, "gllm_healthy", nil, healthy)
+	metrics.WriteHeader(w, "gllm_uptime_seconds", "Seconds since the server started.", "gauge")
+	metrics.WriteSample(w, "gllm_uptime_seconds", nil, time.Since(s.started).Seconds())
 }

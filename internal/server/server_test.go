@@ -272,7 +272,18 @@ func TestHealthAndStatsAndMetrics(t *testing.T) {
 		body.WriteString("\n")
 	}
 	resp.Body.Close()
-	for _, metric := range []string{"gllm_requests_finished", "gllm_token_throughput", "gllm_kv_free_rate"} {
+	for _, metric := range []string{
+		`gllm_requests_finished_total{reason="length"} 1`,
+		"gllm_ttft_seconds_bucket",
+		`gllm_ttft_seconds_bucket{le="+Inf"} 1`,
+		"gllm_tpot_seconds_sum",
+		"gllm_e2el_seconds_count 1",
+		"gllm_queue_delay_seconds_bucket",
+		`gllm_stage_busy_seconds{stage="3"}`,
+		"gllm_bubble_rate",
+		"gllm_kv_free_rate",
+		"gllm_healthy 1",
+	} {
 		if !strings.Contains(body.String(), metric) {
 			t.Fatalf("metrics missing %s:\n%s", metric, body.String())
 		}
