@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 race fuzz-smoke trace-smoke fmt-check
+.PHONY: check tier1 race fuzz-smoke trace-smoke fmt-check bench-steady
 
 # check runs everything a PR must pass: tier-1 build+tests, the race
 # tier (see ROADMAP.md), gofmt enforcement, a short fuzz smoke of both
@@ -24,6 +24,19 @@ fmt-check:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzKVAllocFree -fuzztime=$(FUZZTIME) ./internal/kvcache
 	$(GO) test -run='^$$' -fuzz=FuzzThrottleSchedule -fuzztime=$(FUZZTIME) ./internal/sched
+
+# bench-steady runs the steady-state serving benchmark (tokens/sec and
+# allocs/token over the live HTTP -> runtime -> SSE path) and rewrites
+# results/BENCH_steady_state.json from the median of its runs. The
+# allocs/token regression guards (TestSteadyStateAllocsPerToken and
+# TestServeSteadyStateAllocsPerToken) run in tier1/race via `make check`;
+# this target is the timed measurement.
+bench-steady:
+	@out=$$($(GO) test ./internal/server/ -run '^$$' -bench BenchmarkServeSteadyState -benchmem -benchtime=200000x -count=3); \
+	echo "$$out"; \
+	echo "$$out" | awk -v date=$$(date +%F) -v cores=$$(nproc) \
+		-f scripts/steady_bench_json.awk > results/BENCH_steady_state.json && \
+	echo "wrote results/BENCH_steady_state.json"
 
 # trace-smoke round-trips a short simulation's -trace-out file through the
 # obs Chrome-trace decoder (gllm-tracecheck exits nonzero on a bad trace).

@@ -80,6 +80,17 @@ type Request struct {
 	Finish        time.Duration
 	hasFirstToken bool
 	Preemptions   int
+
+	// emitted counts generated tokens already delivered to the submitter's
+	// stream. Owned by the serving driver; the schedulers and engines never
+	// touch it. Monotone: Generated() never decreases (preemption recomputes
+	// KV, not tokens), so emitted ≤ generated always holds.
+	emitted int
+
+	// SchedMark is batch-membership scratch stamped by sched.Pool's batch
+	// builders; treat as opaque. It replaces a per-call membership map on
+	// the scheduling hot path.
+	SchedMark uint64
 }
 
 // New creates a waiting request. It panics on non-positive prompt or output
@@ -274,6 +285,19 @@ func (r *Request) Abort() {
 			r.ID, r.decodeBusy, len(r.inFlightChunks)))
 	}
 	r.state = StateAborted
+}
+
+// Emitted returns how many generated tokens have been delivered downstream.
+func (r *Request) Emitted() int { return r.emitted }
+
+// MarkEmitted records that all generated tokens up to n (exclusive) have
+// been delivered. Delivery is append-only; going backwards is a driver bug.
+func (r *Request) MarkEmitted(n int) {
+	if n < r.emitted || n > r.generated {
+		panic(fmt.Sprintf("request %d: MarkEmitted(%d) with emitted %d generated %d",
+			r.ID, n, r.emitted, r.generated))
+	}
+	r.emitted = n
 }
 
 // Aborted reports whether the request was terminated before completion.

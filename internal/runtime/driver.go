@@ -33,39 +33,45 @@ func (rt *Runtime) driverLoop() {
 	pendingCancels := make(map[int64]*submission)
 
 	inFlight := 0
-	iterations := 0
-	finished := 0
-	cancelled := 0
 	seq := 0
 
-	updateSnapshot := func() {
-		rt.mu.Lock()
-		rt.snapshot = Snapshot{
-			Iterations:     iterations,
-			InFlight:       inFlight,
-			WaitingPrefill: pool.WaitingPrefillTokens(),
-			RunningDecode:  pool.RunningDecode(),
-			KVFreeRate:     pool.KV.FreeRate(),
-			Finished:       finished,
-			Preemptions:    pool.Preemptions(),
-			Resident:       len(subs),
-			Cancelled:      cancelled,
+	// publishGauges refreshes the pool-derived Snapshot gauges. Called when
+	// the driver is about to block (so idle-state reads are exact), when the
+	// pipeline drains, and periodically under sustained load — NOT on every
+	// loop iteration: walking the pool and taking rt.mu per event used to
+	// dominate driver bookkeeping.
+	publishGauges := func() {
+		g := poolGauges{
+			waitingPrefill: pool.WaitingPrefillTokens(),
+			runningDecode:  pool.RunningDecode(),
+			kvFreeRate:     pool.KV.FreeRate(),
+			preemptions:    pool.Preemptions(),
 		}
+		rt.mu.Lock()
+		rt.gauges = g
 		rt.mu.Unlock()
 	}
 
 	// finishSub finalizes a submission: exactly once per request, after its
-	// last event was sent. Closing done before events lets FinishReason
-	// observe the reason as soon as the channel drains.
+	// last event was sent. Closing done before the delivery transport lets
+	// FinishReason observe the reason as soon as the stream drains.
 	finishSub := func(sub *submission, reason FinishReason) {
 		sub.reason = reason
 		close(sub.done)
-		close(sub.events)
+		if sub.batched {
+			sub.dmu.Lock()
+			sub.dclosed = true
+			sub.dmu.Unlock()
+			sub.notifyDelivery()
+		} else {
+			close(sub.events)
+		}
 		delete(subs, sub.req.ID)
 		delete(pendingCancels, sub.req.ID)
+		rt.resident.Store(int64(len(subs)))
 		rt.admittedKV.Add(-sub.kvDemand)
 		if reason != FinishLength {
-			cancelled++
+			rt.cancelled.Add(1)
 			// Record the abort with its real terminal reason so it never
 			// pollutes completion latency stats.
 			rt.collector.ObserveAborted(sub.req, string(reason))
@@ -75,17 +81,27 @@ func (rt *Runtime) driverLoop() {
 	}
 
 	// abortEvent terminates a request early: one synthetic, empty-Text
-	// terminal event carrying the reason, then finalization. The events
-	// buffer always has room — an unfinished request has emitted at most
-	// OutputLen-1 tokens into an OutputLen-sized buffer.
+	// terminal event carrying the reason, then finalization. Never blocks:
+	// slabs grow as needed, and an unfinished per-token request has emitted
+	// at most OutputLen-1 tokens into an OutputLen-sized buffer.
 	abortEvent := func(sub *submission, reason FinishReason) {
-		sub.events <- TokenEvent{
+		ev := TokenEvent{
 			ReqID:    sub.req.ID,
 			Index:    sub.req.Generated(),
 			Finished: true,
 			Reason:   reason,
 		}
-		finishSub(sub, reason)
+		if sub.batched {
+			sub.dmu.Lock()
+			if sub.pending == nil {
+				sub.pending = slabPool.Get().(*eventSlab)
+			}
+			sub.pending.evs = append(sub.pending.evs, ev)
+			sub.dmu.Unlock()
+		} else {
+			sub.events <- ev
+		}
+		finishSub(sub, reason) // closes the stream and wakes batched waiters
 	}
 
 	// abortResident removes an admitted, quiescent request from the pool,
@@ -101,29 +117,64 @@ func (rt *Runtime) driverLoop() {
 		return r.InFlightChunks() == 0 && !r.DecodeBusy()
 	}
 
-	// emit streams the tokens a request gained in this batch (indices
-	// pre..Generated-1). Event channels are buffered for the full output,
-	// so sends never block the driver.
-	emit := func(r *request.Request, pre int) {
+	// emit streams the tokens a request gained since its last delivery
+	// (indices Emitted..Generated-1). Idempotent within a batch — the
+	// emitted watermark on the request replaces the per-batch progress map
+	// this used to allocate. Never blocks the driver: batched submissions
+	// get one slab append + wakeup, per-token channels are buffered for the
+	// full output.
+	emit := func(r *request.Request) {
 		sub := subs[r.ID]
 		if sub == nil {
 			return
 		}
-		for i := pre; i < r.Generated(); i++ {
-			tok := TokenValue(r.ID, i)
-			ev := TokenEvent{
-				ReqID:    r.ID,
-				Index:    i,
-				Token:    tok,
-				Text:     TokenText(tok),
-				Finished: r.Finished() && i == r.Generated()-1,
-			}
-			if ev.Finished {
-				ev.Reason = FinishLength
-			}
-			sub.events <- ev
+		gen := r.Generated()
+		pre := r.Emitted()
+		fin := r.Finished()
+		if pre == gen && !fin {
+			return
 		}
-		if r.Finished() {
+		if sub.batched {
+			sub.dmu.Lock()
+			s := sub.pending
+			if s == nil {
+				s = slabPool.Get().(*eventSlab)
+				sub.pending = s
+			}
+			for i := pre; i < gen; i++ {
+				tok := TokenValue(r.ID, i)
+				ev := TokenEvent{
+					ReqID:    r.ID,
+					Index:    i,
+					Token:    tok,
+					Text:     TokenText(tok),
+					Finished: fin && i == gen-1,
+				}
+				if ev.Finished {
+					ev.Reason = FinishLength
+				}
+				s.evs = append(s.evs, ev)
+			}
+			sub.dmu.Unlock()
+			sub.notifyDelivery()
+		} else {
+			for i := pre; i < gen; i++ {
+				tok := TokenValue(r.ID, i)
+				ev := TokenEvent{
+					ReqID:    r.ID,
+					Index:    i,
+					Token:    tok,
+					Text:     TokenText(tok),
+					Finished: fin && i == gen-1,
+				}
+				if ev.Finished {
+					ev.Reason = FinishLength
+				}
+				sub.events <- ev
+			}
+		}
+		r.MarkEmitted(gen)
+		if fin {
 			rt.collector.Observe(r)
 			finishSub(sub, FinishLength)
 		}
@@ -135,13 +186,16 @@ func (rt *Runtime) driverLoop() {
 		for inFlight < depth {
 			b := rt.cfg.Scheduler.Schedule(pool, time.Since(rt.start))
 			if b.Empty() {
+				pool.PutBatch(b)
 				return
 			}
 			seq++
-			iterations++
+			rt.iterations.Add(1)
 			inFlight++
+			rt.inFlight.Store(int64(inFlight))
 			rt.beat()
-			mb := &microBatch{seq: seq, batch: b, shape: b.Shape()}
+			mb := mbPool.Get().(*microBatch)
+			mb.seq, mb.batch, mb.shape = seq, b, b.Shape()
 			prep := rt.cfg.Prep.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
 			prepStart := time.Since(rt.start)
 			if rt.cfg.Async {
@@ -183,6 +237,7 @@ func (rt *Runtime) driverLoop() {
 			return
 		}
 		subs[sub.req.ID] = sub
+		rt.resident.Store(int64(len(subs)))
 		pool.Add(sub.req)
 		rt.logEvent(slog.LevelDebug, "request admitted",
 			"id", sub.req.ID, "prompt", sub.req.PromptLen, "max_tokens", sub.req.OutputLen)
@@ -202,23 +257,32 @@ func (rt *Runtime) driverLoop() {
 	}
 
 	handleDone := func(mb *microBatch) {
-		// Capture per-request progress before committing so we can emit
-		// exactly the tokens this batch produced.
-		pre := make(map[*request.Request]int)
+		fin := pool.Complete(mb.batch, time.Since(rt.start))
+		// Each request's emitted watermark marks where this batch's tokens
+		// start, so no pre-commit progress capture (or map) is needed; a
+		// request appears at most once per batch (chunks and decodes are
+		// disjoint phases).
 		for _, c := range mb.batch.Chunks {
-			pre[c.Req] = c.Req.Generated()
+			emit(c.Req)
 		}
 		for _, d := range mb.batch.Decodes {
-			pre[d] = d.Generated()
+			emit(d)
 		}
-		fin := pool.Complete(mb.batch, time.Since(rt.start))
-		for r, g := range pre {
-			emit(r, g)
-		}
-		finished += len(fin)
 		inFlight--
 		rt.beat()
 		reapCancels()
+		// The batch and its carrier are dead once retired: recycle both.
+		pool.PutBatch(mb.batch)
+		mb.batch = nil
+		mbPool.Put(mb)
+		if inFlight == 0 {
+			// Publish before the counter stores below: a reader that
+			// observes the drained counters then sees exact gauges too
+			// (its Stats lock acquire orders after this publish).
+			publishGauges()
+		}
+		rt.finished.Add(int64(len(fin)))
+		rt.inFlight.Store(int64(inFlight))
 	}
 
 	// shutdownExit terminates every outstanding handle and stops the
@@ -253,14 +317,55 @@ func (rt *Runtime) driverLoop() {
 			}
 		}
 		close(rt.workers[0].workCh)
-		updateSnapshot()
+		publishGauges()
 		rt.logEvent(slog.LevelInfo, "runtime stopped",
-			"finished", finished, "cancelled", cancelled, "iterations", iterations)
+			"finished", rt.finished.Load(), "cancelled", rt.cancelled.Load(),
+			"iterations", rt.iterations.Load())
 	}
 
 	stopCh := rt.stopCh
 	killCh := rt.killCh
 	draining := false
+
+	// The five event arms, shared between the non-blocking poll and the
+	// blocking wait below.
+	onSubmit := func(sub *submission) {
+		admit(sub)
+		if !killed {
+			tryInject()
+		}
+	}
+	onCancel := func(sub *submission) {
+		handleCancel(sub)
+		if !killed {
+			// An abort releases KV, which may unblock scheduling.
+			tryInject()
+		}
+	}
+	onDone := func(mb *microBatch) {
+		handleDone(mb)
+		if !killed {
+			tryInject()
+		}
+	}
+	onStop := func() {
+		stopCh = nil
+		draining = true
+		rt.logEvent(slog.LevelInfo, "drain started",
+			"resident", len(subs), "in_flight", inFlight)
+	}
+	onKill := func() {
+		killCh = nil
+		killed = true
+		rt.logEvent(slog.LevelWarn, "kill requested",
+			"resident", len(subs), "in_flight", inFlight)
+	}
+
+	// Publish the pool gauges at least every gaugePublishEvery events while
+	// the loop never goes idle, so saturated-pipeline scrapes stay at most a
+	// few micro-batches stale.
+	const gaugePublishEvery = 64
+	sincePublish := 0
 	for {
 		if killed {
 			if inFlight == 0 {
@@ -289,32 +394,37 @@ func (rt *Runtime) driverLoop() {
 		}
 		select {
 		case sub := <-rt.submitCh:
-			admit(sub)
-			if !killed {
-				tryInject()
-			}
+			onSubmit(sub)
 		case sub := <-rt.cancelCh:
-			handleCancel(sub)
-			if !killed {
-				// An abort releases KV, which may unblock scheduling.
-				tryInject()
-			}
+			onCancel(sub)
 		case mb := <-rt.doneCh:
-			handleDone(mb)
-			if !killed {
-				tryInject()
-			}
+			onDone(mb)
 		case <-stopCh:
-			stopCh = nil
-			draining = true
-			rt.logEvent(slog.LevelInfo, "drain started",
-				"resident", len(subs), "in_flight", inFlight)
+			onStop()
 		case <-killCh:
-			killCh = nil
-			killed = true
-			rt.logEvent(slog.LevelWarn, "kill requested",
-				"resident", len(subs), "in_flight", inFlight)
+			onKill()
+		default:
+			// Nothing pending: refresh the gauges, then block. Every reader
+			// that observes the counters of a quiesced driver therefore also
+			// sees exact gauges.
+			publishGauges()
+			sincePublish = 0
+			select {
+			case sub := <-rt.submitCh:
+				onSubmit(sub)
+			case sub := <-rt.cancelCh:
+				onCancel(sub)
+			case mb := <-rt.doneCh:
+				onDone(mb)
+			case <-stopCh:
+				onStop()
+			case <-killCh:
+				onKill()
+			}
 		}
-		updateSnapshot()
+		if sincePublish++; sincePublish >= gaugePublishEvery {
+			publishGauges()
+			sincePublish = 0
+		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package runtime
+
+// raceEnabled lets allocation guards skip under the race detector, whose
+// instrumentation allocates on paths that are clean in normal builds.
+const raceEnabled = true

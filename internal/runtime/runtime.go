@@ -1,7 +1,10 @@
 // Package runtime implements the gLLM asynchronous serving runtime (§3.3)
 // as a real concurrent system: a driver goroutine that owns scheduling and
 // the KV cache, one worker goroutine per pipeline stage, and a decoupled
-// frontend (Submit returns immediately; tokens stream back on a channel).
+// frontend (Submit returns immediately; tokens stream back on a channel,
+// or — via SubmitBatched — as pooled per-micro-batch event slabs drained
+// with Handle.Next, the zero-alloc steady-state path the HTTP frontend
+// uses).
 //
 // The paper's three design principles map directly onto Go concurrency:
 //
@@ -197,10 +200,16 @@ type Handle struct {
 	// (Finished) event. The channel is buffered for the full output, so
 	// slow consumers never stall the driver. Aborted requests receive one
 	// final empty-Text event carrying the abort reason before the close.
+	//
+	// Events is nil for handles obtained via SubmitBatched — those deliver
+	// through Handle.Next instead.
 	Events <-chan TokenEvent
 
 	rt  *Runtime
 	sub *submission
+	// cur is the slab most recently returned by Next; recycled on the
+	// following Next call.
+	cur *eventSlab
 }
 
 // Done returns a channel closed when the request reaches a terminal state
@@ -220,6 +229,52 @@ func (h *Handle) FinishReason() FinishReason {
 		return h.sub.reason
 	default:
 		return ""
+	}
+}
+
+// Next returns the next batch of token events for a handle obtained via
+// SubmitBatched. It blocks until the driver delivers events, and returns
+// nil when the stream is complete (every event, including the terminal one,
+// has been returned by earlier calls) or when ctx is done (check ctx.Err()
+// to distinguish). The returned slice is owned by the runtime and valid
+// only until the following Next call, which recycles its slab; callers
+// must not retain it. Next must not be called concurrently with itself and
+// panics on per-token (channel) handles.
+func (h *Handle) Next(ctx context.Context) []TokenEvent {
+	sub := h.sub
+	if !sub.batched {
+		panic("runtime: Handle.Next on a per-token (channel) handle; range over Events instead")
+	}
+	if h.cur != nil {
+		h.cur.evs = h.cur.evs[:0]
+		slabPool.Put(h.cur)
+		h.cur = nil
+	}
+	var cancelled <-chan struct{}
+	if ctx != nil {
+		cancelled = ctx.Done()
+	}
+	for {
+		sub.dmu.Lock()
+		s := sub.pending
+		sub.pending = nil
+		closed := sub.dclosed
+		sub.dmu.Unlock()
+		if s != nil && len(s.evs) > 0 {
+			h.cur = s
+			return s.evs
+		}
+		if s != nil {
+			slabPool.Put(s) // delivered empty: recycle immediately
+		}
+		if closed {
+			return nil
+		}
+		select {
+		case <-sub.notify:
+		case <-cancelled:
+			return nil
+		}
 	}
 }
 
@@ -277,22 +332,51 @@ type Runtime struct {
 
 	workers []*worker
 
-	mu        sync.Mutex
 	collector metrics.Collector
-	snapshot  Snapshot
+
+	// Scalar progress counters are atomics written inline by the driver
+	// (and read lock-free by Stats and the watchdog); the pool-derived
+	// gauges below are published by the driver only when it is about to
+	// block or periodically under sustained load — not on every loop
+	// iteration, which used to put a mutex write on the hot path.
+	iterations atomic.Int64
+	inFlight   atomic.Int64
+	finished   atomic.Int64
+	cancelled  atomic.Int64
+	resident   atomic.Int64
+
+	mu     sync.Mutex
+	gauges poolGauges
 
 	admittedKV atomic.Int64 // projected KV tokens of admitted, unfinished requests
 	rejected   atomic.Int64
 	degraded   atomic.Bool
 	lastBeat   atomic.Int64 // UnixNano of the driver's last scheduling progress
 
-	nextID int64
+	nextID atomic.Int64
 	start  time.Time
 }
 
+// poolGauges are the Snapshot fields derived by walking driver-owned pool
+// state; the driver publishes them under rt.mu at block/idle boundaries.
+type poolGauges struct {
+	waitingPrefill int
+	runningDecode  int
+	kvFreeRate     float64
+	preemptions    int
+}
+
+// eventSlab is a reusable batch of token events: the driver appends a
+// request's new tokens once per retired micro-batch, the consumer swaps the
+// slab out wholesale via Handle.Next. Pooled so steady-state delivery
+// allocates nothing.
+type eventSlab struct{ evs []TokenEvent }
+
+var slabPool = sync.Pool{New: func() any { return &eventSlab{evs: make([]TokenEvent, 0, 64)} }}
+
 type submission struct {
 	req      *request.Request
-	events   chan TokenEvent
+	events   chan TokenEvent // per-token transport; nil when batched
 	done     chan struct{}
 	kvDemand int64
 	// reason is written by the driver before done/events close; readers
@@ -301,14 +385,36 @@ type submission struct {
 	// abortReason is the externally requested abort reason (CAS winner
 	// sends the submission to cancelCh exactly once).
 	abortReason atomic.Pointer[FinishReason]
+
+	// Batched (slab) delivery, used instead of the events channel when
+	// batched is set: the driver appends to pending under dmu — a short
+	// critical section, so it never blocks on a slow consumer — and pokes
+	// notify (capacity 1, non-blocking) once per delivery.
+	batched bool
+	dmu     sync.Mutex
+	pending *eventSlab
+	dclosed bool
+	notify  chan struct{}
 }
 
-// microBatch is the unit passed through the pipeline.
+// notifyDelivery wakes a Handle.Next waiter; never blocks (capacity-1
+// channel: a pending token already guarantees a wakeup).
+func (sub *submission) notifyDelivery() {
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// microBatch is the unit passed through the pipeline. Retired batches are
+// recycled through mbPool by the driver.
 type microBatch struct {
 	seq   int
 	batch *sched.Batch
 	shape gpu.BatchShape
 }
+
+var mbPool = sync.Pool{New: func() any { return new(microBatch) }}
 
 // ErrStopped is returned by Submit after Shutdown or Close.
 var ErrStopped = errors.New("runtime: stopped")
@@ -363,7 +469,7 @@ func Start(cfg Config) (*Runtime, error) {
 		rt.admitLimit = int64(cfg.AdmitKVFactor * float64(kvCap))
 	}
 	rt.lastBeat.Store(time.Now().UnixNano())
-	rt.snapshot = Snapshot{KVFreeRate: 1} // empty cache until the driver's first pass
+	rt.gauges = poolGauges{kvFreeRate: 1} // empty cache until the driver's first pass
 	rt.workers = make([]*worker, depth)
 	for i := range rt.workers {
 		rt.workers[i] = newWorker(rt, i)
@@ -408,7 +514,21 @@ func (rt *Runtime) SubmitCtxWithPrefix(ctx context.Context, promptLen, maxTokens
 	return rt.submit(ctx, promptLen, maxTokens, group, sharedLen)
 }
 
+// SubmitBatched is SubmitCtx with slab-based token delivery: the driver
+// appends each retired micro-batch's tokens to a pooled event slab and the
+// consumer drains whole slabs via Handle.Next — the allocation-free
+// steady-state path the HTTP frontend streams from. The returned handle's
+// Events channel is nil; lifecycle semantics (Done, Cancel, FinishReason,
+// terminal abort events) are identical to Submit.
+func (rt *Runtime) SubmitBatched(ctx context.Context, promptLen, maxTokens int) (*Handle, error) {
+	return rt.submitMode(ctx, promptLen, maxTokens, 0, 0, true)
+}
+
 func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
+	return rt.submitMode(ctx, promptLen, maxTokens, group, sharedLen, false)
+}
+
+func (rt *Runtime) submitMode(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int, batched bool) (*Handle, error) {
 	if promptLen <= 0 || maxTokens <= 0 {
 		return nil, fmt.Errorf("runtime: invalid lengths %d/%d", promptLen, maxTokens)
 	}
@@ -446,19 +566,21 @@ func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group i
 		rt.admittedKV.Add(demand)
 	}
 
-	rt.mu.Lock()
-	id := rt.nextID
-	rt.nextID++
-	rt.mu.Unlock()
+	id := rt.nextID.Add(1) - 1
 
 	req := request.New(id, time.Since(rt.start), promptLen, maxTokens)
 	req.PrefixGroup = group
 	req.SharedPrefixLen = sharedLen
 	sub := &submission{
 		req:      req,
-		events:   make(chan TokenEvent, maxTokens),
 		done:     make(chan struct{}),
 		kvDemand: demand,
+		batched:  batched,
+	}
+	if batched {
+		sub.notify = make(chan struct{}, 1)
+	} else {
+		sub.events = make(chan TokenEvent, maxTokens)
 	}
 	select {
 	case rt.submitCh <- sub:
@@ -498,11 +620,27 @@ func (rt *Runtime) requestCancel(sub *submission, reason FinishReason) {
 	}
 }
 
-// Stats returns a snapshot of runtime counters and health.
+// Stats returns a snapshot of runtime counters and health. Counters are
+// read from the driver's atomics (always current); the pool-derived gauges
+// (WaitingPrefill, RunningDecode, KVFreeRate, Preemptions) reflect the
+// driver's most recent publish — exact whenever the pipeline is idle or the
+// driver is blocked waiting for work, and at most a few micro-batches stale
+// under sustained load.
 func (rt *Runtime) Stats() Snapshot {
 	rt.mu.Lock()
-	s := rt.snapshot
+	g := rt.gauges
 	rt.mu.Unlock()
+	s := Snapshot{
+		Iterations:     int(rt.iterations.Load()),
+		InFlight:       int(rt.inFlight.Load()),
+		WaitingPrefill: g.waitingPrefill,
+		RunningDecode:  g.runningDecode,
+		KVFreeRate:     g.kvFreeRate,
+		Finished:       int(rt.finished.Load()),
+		Preemptions:    g.preemptions,
+		Resident:       int(rt.resident.Load()),
+		Cancelled:      int(rt.cancelled.Load()),
+	}
 	s.Rejected = rt.rejected.Load()
 	s.Uptime = time.Since(rt.start)
 	s.StageBusySeconds = make([]float64, len(rt.workers))
@@ -608,9 +746,7 @@ func (rt *Runtime) watchdogLoop() {
 		case <-rt.stopped:
 			return
 		case <-t.C:
-			rt.mu.Lock()
-			inFlight := rt.snapshot.InFlight
-			rt.mu.Unlock()
+			inFlight := int(rt.inFlight.Load())
 			beat := time.Unix(0, rt.lastBeat.Load())
 			cur := inFlight > 0 && time.Since(beat) > timeout
 			if prev := rt.degraded.Swap(cur); prev != cur {

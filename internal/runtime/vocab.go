@@ -28,10 +28,21 @@ var vocab = []string{
 	"depth", "scale", "merge", "split",
 }
 
+// vocabSpaced holds every vocab word with its trailing space precomputed,
+// so rendering a token is a table lookup instead of a per-token string
+// concatenation (TokenText runs once per generated token on the live path).
+var vocabSpaced = func() []string {
+	out := make([]string, len(vocab))
+	for i, w := range vocab {
+		out[i] = w + " "
+	}
+	return out
+}()
+
 // TokenText renders a token value as detokenized text (word plus trailing
-// space).
+// space). Allocation-free: the rendered strings are precomputed.
 func TokenText(tok uint64) string {
-	return vocab[tok%uint64(len(vocab))] + " "
+	return vocabSpaced[tok%uint64(len(vocabSpaced))]
 }
 
 // TokenizeLen counts the tokens of a prompt string under the emulated

@@ -22,7 +22,18 @@ type worker struct {
 	workCh chan *microBatch
 	next   *worker
 
-	prepared sync.Map // seq -> chan struct{}, closed once inputs are built
+	// prepSeq is the highest micro-batch seq whose inputs this stage has
+	// prepared. The driver hands seqs out strictly increasing and metaCh is
+	// FIFO, so a single watermark (guarded by prepMu, signalled through
+	// prepCond) replaces the per-batch channel+map the prep handshake used
+	// to allocate.
+	prepMu   sync.Mutex
+	prepCond *sync.Cond
+	prepSeq  int
+	// inputs is the stage's reusable input-descriptor scratch; only the
+	// goroutine that builds inputs touches it (metaLoop in async mode, the
+	// compute loop otherwise).
+	inputs []inputDesc
 	// PreparedEarly counts batches whose inputs were ready before the
 	// activations arrived (observability for the overlap design).
 	preparedEarly atomic.Int64
@@ -33,13 +44,15 @@ type worker struct {
 }
 
 func newWorker(rt *Runtime, idx int) *worker {
-	return &worker{
+	w := &worker{
 		rt:     rt,
 		idx:    idx,
 		layers: rt.stageLayers[idx],
 		metaCh: make(chan *microBatch, 2*len(rt.stageLayers)+4),
 		workCh: make(chan *microBatch, 2*len(rt.stageLayers)+4),
 	}
+	w.prepCond = sync.NewCond(&w.prepMu)
+	return w
 }
 
 // start wires the worker to its successor and spawns its goroutines.
@@ -53,13 +66,6 @@ func (w *worker) start(hasNext bool) {
 	go w.computeLoop()
 }
 
-// preparedSignal returns the readiness channel for a batch, creating it on
-// first use (meta and work paths race benignly through LoadOrStore).
-func (w *worker) preparedSignal(seq int) chan struct{} {
-	ch, _ := w.prepared.LoadOrStore(seq, make(chan struct{}))
-	return ch.(chan struct{})
-}
-
 // inputDesc is the per-sequence input metadata a stage builds before it can
 // launch its kernels (token positions, context lengths).
 type inputDesc struct {
@@ -69,25 +75,28 @@ type inputDesc struct {
 }
 
 // buildInputs constructs the stage's input descriptors from a metadata
-// packet. This is the work that the async runtime hides off the critical
-// path.
-func buildInputs(mb *microBatch) []inputDesc {
-	out := make([]inputDesc, 0, len(mb.batch.Chunks)+len(mb.batch.Decodes))
+// packet into the worker's reusable scratch. This is the work that the
+// async runtime hides off the critical path.
+func (w *worker) buildInputs(mb *microBatch) {
+	ins := w.inputs[:0]
 	for _, c := range mb.batch.Chunks {
-		out = append(out, inputDesc{reqID: c.Req.ID, tokens: c.Tokens, ctx: c.CtxStart})
+		ins = append(ins, inputDesc{reqID: c.Req.ID, tokens: c.Tokens, ctx: c.CtxStart})
 	}
 	for _, d := range mb.batch.Decodes {
-		out = append(out, inputDesc{reqID: d.ID, tokens: 1, ctx: d.ContextLen()})
+		ins = append(ins, inputDesc{reqID: d.ID, tokens: 1, ctx: d.ContextLen()})
 	}
-	return out
+	w.inputs = ins
 }
 
 // metaLoop receives metadata broadcasts and prepares inputs ahead of the
-// activations.
+// activations, advancing the prepared watermark.
 func (w *worker) metaLoop() {
 	for mb := range w.metaCh {
-		_ = buildInputs(mb)
-		close(w.preparedSignal(mb.seq))
+		w.buildInputs(mb)
+		w.prepMu.Lock()
+		w.prepSeq = mb.seq
+		w.prepMu.Unlock()
+		w.prepCond.Broadcast()
 	}
 }
 
@@ -102,18 +111,20 @@ func (w *worker) computeLoop() {
 	}()
 	for mb := range w.workCh {
 		if w.rt.cfg.Async {
-			sig := w.preparedSignal(mb.seq)
-			select {
-			case <-sig:
+			w.prepMu.Lock()
+			if w.prepSeq >= mb.seq {
+				w.prepMu.Unlock()
 				w.preparedEarly.Add(1)
-			default:
-				<-sig
+			} else {
+				for w.prepSeq < mb.seq {
+					w.prepCond.Wait()
+				}
+				w.prepMu.Unlock()
 			}
-			w.prepared.Delete(mb.seq)
 		} else {
 			// Coupled runtime: metadata travels with activations and inputs
 			// are built on the critical path.
-			_ = buildInputs(mb)
+			w.buildInputs(mb)
 		}
 		if fault := w.rt.cfg.StageFault; fault != nil {
 			// Injected stall (wall clock, not modeled time); Close cuts it

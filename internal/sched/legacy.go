@@ -23,16 +23,17 @@ func (p *Pool) buildPrefillFiltered(b *Batch, budget int, now time.Duration, all
 	if allow == nil {
 		allow = allowAll
 	}
-	inThisBatch := make(map[*request.Request]bool, len(b.Chunks))
+	// Same epoch-stamped membership scheme as buildPrefill.
+	epoch := batchEpoch.Add(1)
 	for _, c := range b.Chunks {
-		inThisBatch[c.Req] = true
+		c.Req.SchedMark = epoch
 	}
 	queue := p.prefillQ
 	for _, r := range queue {
 		if budget <= 0 {
 			return
 		}
-		if !allow(r) || inThisBatch[r] || r.RemainingPrefill() == 0 || r.InFlightChunks() > 0 {
+		if r.SchedMark == epoch || r.RemainingPrefill() == 0 || r.InFlightChunks() > 0 || !allow(r) {
 			continue
 		}
 		if r.State() != request.StateWaiting && r.State() != request.StatePrefilling {
@@ -63,7 +64,7 @@ func (p *Pool) buildPrefillFiltered(b *Batch, budget int, now time.Duration, all
 		ctxStart := r.PrefillDone()
 		r.ScheduleChunk(chunk, now)
 		b.Chunks = append(b.Chunks, Chunk{Req: r, Tokens: chunk, CtxStart: ctxStart})
-		inThisBatch[r] = true
+		r.SchedMark = epoch
 		budget -= chunk
 	}
 }
@@ -77,8 +78,8 @@ func (p *Pool) buildDecodeFiltered(b *Batch, maxSeqs int, allow func(*request.Re
 	if maxSeqs <= 0 {
 		return
 	}
-	candidates := make([]*request.Request, len(p.decoding))
-	copy(candidates, p.decoding)
+	p.decodeScratch = append(p.decodeScratch[:0], p.decoding...)
+	candidates := p.decodeScratch
 	scheduled := 0
 	for _, r := range candidates {
 		if scheduled >= maxSeqs {
@@ -119,22 +120,25 @@ func (o *Orca) Name() string { return "orca" }
 // Schedule implements Scheduler: all available decodes, then whole-prompt
 // admissions up to MaxSeqs.
 func (o *Orca) Schedule(p *Pool, now time.Duration) *Batch {
-	b := &Batch{}
+	b := p.GetBatch()
 	p.buildDecodeFiltered(b, o.MaxSeqs, nil)
 	if slots := o.MaxSeqs - len(b.Decodes) - p.inFlightSeqsEstimate(); slots > 0 {
 		// Whole prompts only; an effectively unlimited token budget — the
 		// seq cap is the constraint, exactly Orca's design. Admission slots
-		// go to the first eligible waiting requests.
-		allowed := make(map[*request.Request]bool, slots)
-		for _, r := range p.PrefillQueue() {
-			if len(allowed) >= slots {
-				break
+		// go to the first eligible waiting requests: buildPrefillFiltered
+		// walks the queue FIFO and consults allow only on eligible entries
+		// (no in-flight chunk, prefill remaining), so a counting filter
+		// admits exactly the first `slots` of them — a slot is consumed even
+		// when the whole prompt then fails to fit, matching the eager
+		// allowed-set this used to build.
+		remaining := slots
+		p.buildPrefillFiltered(b, 1<<30, now, func(*request.Request) bool {
+			if remaining <= 0 {
+				return false
 			}
-			if r.InFlightChunks() == 0 && r.RemainingPrefill() > 0 {
-				allowed[r] = true
-			}
-		}
-		p.buildPrefillFiltered(b, 1<<30, now, func(r *request.Request) bool { return allowed[r] }, true)
+			remaining--
+			return true
+		}, true)
 	}
 	return b
 }
@@ -196,7 +200,7 @@ func (s *BatchLevel) Schedule(p *Pool, now time.Duration) *Batch {
 		}
 	}
 	inCohort := func(r *request.Request) bool { return s.cohort[r] }
-	b := &Batch{}
+	b := p.GetBatch()
 	p.buildDecodeFiltered(b, s.MaxSeqs, inCohort)
 	p.buildPrefillFiltered(b, 1<<30, now, inCohort, true)
 	return b

@@ -7,6 +7,7 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gllm/internal/core"
@@ -14,6 +15,14 @@ import (
 	"gllm/internal/kvcache"
 	"gllm/internal/request"
 )
+
+// batchEpoch issues globally-unique stamps for request.SchedMark, the
+// allocation-free replacement for the per-call batch-membership maps the
+// batch builders used to make. Globally monotone (one counter across every
+// pool) so a request migrating between pools — disaggregation adopts
+// decoding requests from other replicas — can never carry a stale mark that
+// collides with another pool's current epoch.
+var batchEpoch atomic.Uint64
 
 // Pool is the serving state every scheduler reads and mutates: the prefill
 // FIFO, the decoding set and the KV cache. It is owned by a single driver
@@ -45,6 +54,14 @@ type Pool struct {
 	// recompute forever without producing a token.
 	watermark   int
 	preemptions int
+
+	// decodeScratch is the reusable snapshot buffer for the decode builders
+	// (preemption mutates p.decoding mid-iteration); valid only within one
+	// build call. Capacity is retained so steady-state scheduling never
+	// allocates.
+	decodeScratch []*request.Request
+	// freeBatches recycles retired batches handed back via PutBatch.
+	freeBatches []*Batch
 }
 
 // NewPool creates a pool over the given KV manager for a pipeline of the
@@ -96,6 +113,34 @@ func (p *Pool) PrefillQueue() []*request.Request { return p.prefillQ }
 
 // kvSeq maps a request to its KV-cache sequence ID.
 func kvSeq(r *request.Request) kvcache.SeqID { return kvcache.SeqID(r.ID) }
+
+// GetBatch returns an empty batch, reusing one recycled via PutBatch when
+// available (slice capacity retained, so a steady-state driver schedules
+// without allocating). Callers that never recycle just get fresh batches.
+func (p *Pool) GetBatch() *Batch {
+	if n := len(p.freeBatches); n > 0 {
+		b := p.freeBatches[n-1]
+		p.freeBatches[n-1] = nil
+		p.freeBatches = p.freeBatches[:n-1]
+		return b
+	}
+	return &Batch{}
+}
+
+// PutBatch hands a retired batch back for reuse by later Schedule calls.
+// The caller must not touch the batch afterwards. Request pointers are
+// cleared so a recycled batch keeps no finished request alive.
+func (p *Pool) PutBatch(b *Batch) {
+	for i := range b.Chunks {
+		b.Chunks[i] = Chunk{}
+	}
+	for i := range b.Decodes {
+		b.Decodes[i] = nil
+	}
+	b.Chunks = b.Chunks[:0]
+	b.Decodes = b.Decodes[:0]
+	p.freeBatches = append(p.freeBatches, b)
+}
 
 // Preemptions returns the cumulative preemption count.
 func (p *Pool) Preemptions() int { return p.preemptions }
@@ -150,16 +195,18 @@ func (p *Pool) maxPrefillAllocatableFor(id kvcache.SeqID) int {
 // allocated here, before execution, exactly as the paper's Figure 6
 // describes.
 func (p *Pool) buildPrefill(b *Batch, budget int, now time.Duration) {
-	inThisBatch := make(map[*request.Request]bool, len(b.Chunks))
+	// Batch membership via epoch-stamped scratch marks: requests whose
+	// SchedMark equals this build's epoch already carry a chunk in b.
+	epoch := batchEpoch.Add(1)
 	for _, c := range b.Chunks {
-		inThisBatch[c.Req] = true
+		c.Req.SchedMark = epoch
 	}
 	queue := p.prefillQ // snapshot: evictions may rebuild p.prefillQ
 	for _, r := range queue {
 		if budget <= 0 {
 			return
 		}
-		if r.RemainingPrefill() == 0 || inThisBatch[r] {
+		if r.RemainingPrefill() == 0 || r.SchedMark == epoch {
 			continue
 		}
 		if r.InFlightChunks() > 0 {
@@ -216,7 +263,7 @@ func (p *Pool) buildPrefill(b *Batch, budget int, now time.Duration) {
 		ctxStart := r.PrefillDone() + r.InFlightPrefill()
 		r.ScheduleChunk(chunk, now)
 		b.Chunks = append(b.Chunks, Chunk{Req: r, Tokens: chunk, CtxStart: ctxStart})
-		inThisBatch[r] = true
+		r.SchedMark = epoch
 		budget -= chunk
 	}
 }
@@ -230,8 +277,8 @@ func (p *Pool) buildDecode(b *Batch, maxSeqs int) {
 		return
 	}
 	// Snapshot: preemption mutates p.decoding while we iterate.
-	candidates := make([]*request.Request, len(p.decoding))
-	copy(candidates, p.decoding)
+	p.decodeScratch = append(p.decodeScratch[:0], p.decoding...)
+	candidates := p.decodeScratch
 	scheduled := 0
 	for _, r := range candidates {
 		if scheduled >= maxSeqs {
@@ -258,8 +305,8 @@ func (p *Pool) buildDecodeWeighted(b *Batch, target float64, weight func(*reques
 	if target <= 0 {
 		return
 	}
-	candidates := make([]*request.Request, len(p.decoding))
-	copy(candidates, p.decoding)
+	p.decodeScratch = append(p.decodeScratch[:0], p.decoding...)
+	candidates := p.decodeScratch
 	acc := 0.0
 	for _, r := range candidates {
 		if acc >= target {

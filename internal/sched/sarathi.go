@@ -33,7 +33,7 @@ func (s *Sarathi) Name() string { return "sarathi" }
 // Schedule implements Scheduler: decode-first, then chunked prefill within
 // the leftover budget.
 func (s *Sarathi) Schedule(p *Pool, now time.Duration) *Batch {
-	b := &Batch{}
+	b := p.GetBatch()
 	p.buildDecode(b, s.Budget)
 	if rest := s.Budget - b.DecodeTokens(); rest > 0 {
 		p.buildPrefill(b, rest, now)

@@ -67,7 +67,7 @@ func (t *TDPipe) Schedule(p *Pool, now time.Duration) *Batch {
 	// evenly over the micro-batch slots (otherwise one giant batch leaves
 	// the other stages idle).
 	decodeShare := (rd + t.MinDecode - 1) / t.MinDecode
-	b := &Batch{}
+	b := p.GetBatch()
 	if t.inDecodePhase {
 		p.buildDecode(b, decodeShare)
 		if b.Empty() && rd == 0 {

@@ -72,7 +72,7 @@ func (t *Throttle) decodeWeight(r *request.Request) float64 {
 // ablation variant. The two are merged into one micro-batch.
 func (t *Throttle) Schedule(p *Pool, now time.Duration) *Batch {
 	st := p.CoreState()
-	b := &Batch{}
+	b := p.GetBatch()
 	if t.CtxWeight > 0 {
 		total := 0.0
 		for _, r := range p.Decoding() {

@@ -66,7 +66,7 @@ func (v *VirtualEngines) Schedule(p *Pool, now time.Duration) *Batch {
 	for attempt := 0; attempt < v.Engines; attempt++ {
 		e := (v.next + attempt) % v.Engines
 		mine := func(r *request.Request) bool { return v.assignment[r] == e }
-		b := &Batch{}
+		b := p.GetBatch()
 		p.buildDecodeFiltered(b, v.Budget, mine)
 		if rest := v.Budget - b.DecodeTokens(); rest > 0 {
 			p.buildPrefillFiltered(b, rest, now, mine, false)
@@ -75,6 +75,7 @@ func (v *VirtualEngines) Schedule(p *Pool, now time.Duration) *Batch {
 			v.next = (e + 1) % v.Engines
 			return b
 		}
+		p.PutBatch(b)
 	}
-	return &Batch{}
+	return p.GetBatch()
 }

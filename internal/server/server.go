@@ -12,7 +12,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+	"unicode/utf8"
 
 	"gllm/internal/metrics"
 	"gllm/internal/runtime"
@@ -22,6 +24,7 @@ import (
 type Server struct {
 	rt        *runtime.Runtime
 	modelName string
+	modelJSON []byte // modelName pre-encoded as a JSON string
 	mux       *http.ServeMux
 	started   time.Time
 }
@@ -32,6 +35,7 @@ func New(rt *runtime.Runtime, modelName string) *Server {
 		panic("server: nil runtime")
 	}
 	s := &Server{rt: rt, modelName: modelName, mux: http.NewServeMux(), started: time.Now()}
+	s.modelJSON = appendJSONString(nil, modelName)
 	s.mux.HandleFunc("/v1/completions", s.handleCompletions)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -115,7 +119,9 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context binds the generation's lifetime to the client
 	// connection: a disconnect cancels the runtime request and frees its KV.
-	h, err := s.rt.SubmitCtx(r.Context(), promptLen, req.MaxTokens)
+	// Batched (slab) delivery keeps the serving hot path allocation-free;
+	// tokens are drained with Handle.Next below.
+	h, err := s.rt.SubmitBatched(r.Context(), promptLen, req.MaxTokens)
 	if err != nil {
 		switch {
 		case errors.Is(err, runtime.ErrQueueFull):
@@ -137,27 +143,28 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	var text strings.Builder
 	count := 0
 	finish := string(runtime.FinishLength)
-	for open := true; open; {
-		select {
-		case ev, ok := <-h.Events:
-			if !ok {
-				open = false
-				break
+	ctx := r.Context()
+	for {
+		evs := h.Next(ctx)
+		if evs == nil {
+			if ctx.Err() != nil {
+				// Client went away mid-generation: abort inline through the
+				// handle's cancel path and give up on the response. Slab
+				// delivery needs no consumer to terminate, so nothing is
+				// drained and no goroutine is spawned.
+				h.Cancel()
+				return
 			}
-			text.WriteString(ev.Text)
-			if ev.Text != "" {
+			break
+		}
+		for i := range evs {
+			text.WriteString(evs[i].Text)
+			if evs[i].Text != "" {
 				count++
 			}
-			if ev.Finished && ev.Reason != "" {
-				finish = string(ev.Reason)
+			if evs[i].Finished && evs[i].Reason != "" {
+				finish = string(evs[i].Reason)
 			}
-		case <-r.Context().Done():
-			// Client went away mid-generation: the SubmitCtx watcher cancels
-			// the runtime request; drain the (buffered) channel so the handle
-			// terminates cleanly, then give up on the response.
-			for range h.Events {
-			}
-			return
 		}
 	}
 	resp := completionResponse{
@@ -176,7 +183,18 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// sseBuf is a pooled, reusable SSE chunk buffer (pointer-wrapped so pool
+// round-trips don't allocate a slice header).
+type sseBuf struct{ b []byte }
+
+var sseBufPool = sync.Pool{New: func() any { return &sseBuf{b: make([]byte, 0, 4096)} }}
+
+var doneChunk = []byte("data: [DONE]\n\n")
+
 // streamCompletion renders tokens as OpenAI-style server-sent events.
+// The hot loop is allocation-free: each slab of tokens delivered by
+// Handle.Next is encoded into one reused buffer by a hand-rolled JSON
+// writer (the chunk shape is fixed) and written with a single flush.
 func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id string, h *runtime.Handle) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -187,43 +205,118 @@ func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id str
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
-	enc := json.NewEncoder(w)
+	// One creation timestamp per stream (OpenAI semantics: chunks of a
+	// completion share the response's creation time).
+	created := time.Now().Unix()
+	buf := sseBufPool.Get().(*sseBuf)
+	defer func() {
+		buf.b = buf.b[:0]
+		sseBufPool.Put(buf)
+	}()
+	ctx := r.Context()
 	for {
-		select {
-		case ev, open := <-h.Events:
-			if !open {
-				fmt.Fprint(w, "data: [DONE]\n\n")
-				flusher.Flush()
+		evs := h.Next(ctx)
+		if evs == nil {
+			if ctx.Err() != nil {
+				// Client went away: abort inline through the handle's cancel
+				// path. Slab delivery needs no consumer to terminate, so no
+				// drain goroutine is spawned (and none can leak).
+				h.Cancel()
 				return
 			}
-			finish := ""
-			if ev.Finished {
-				finish = string(runtime.FinishLength)
-				if ev.Reason != "" {
-					finish = string(ev.Reason)
-				}
-			}
-			chunk := completionResponse{
-				ID:      id,
-				Object:  "text_completion",
-				Created: time.Now().Unix(),
-				Model:   s.modelName,
-				Choices: []completionChoice{{Text: ev.Text, FinishReason: finish}},
-			}
-			fmt.Fprint(w, "data: ")
-			_ = enc.Encode(chunk) // Encode appends the newline
-			fmt.Fprint(w, "\n")
+			_, _ = w.Write(doneChunk)
 			flusher.Flush()
-		case <-r.Context().Done():
-			// Client went away: drain in background so the driver's buffer
-			// accounting is unaffected (events are buffered anyway).
-			go func() {
-				for range h.Events {
-				}
-			}()
 			return
 		}
+		b := buf.b[:0]
+		for i := range evs {
+			b = s.appendChunk(b, id, created, &evs[i])
+		}
+		buf.b = b
+		if _, err := w.Write(b); err != nil {
+			h.Cancel()
+			return
+		}
+		flusher.Flush()
 	}
+}
+
+// appendChunk encodes one token event as an SSE completion chunk,
+// byte-identical to what encoding/json produced for completionResponse
+// (field order, HTML escaping, omitted empty finish_reason and usage).
+func (s *Server) appendChunk(b []byte, id string, created int64, ev *runtime.TokenEvent) []byte {
+	b = append(b, `data: {"id":`...)
+	b = appendJSONString(b, id)
+	b = append(b, `,"object":"text_completion","created":`...)
+	b = strconv.AppendInt(b, created, 10)
+	b = append(b, `,"model":`...)
+	b = append(b, s.modelJSON...)
+	b = append(b, `,"choices":[{"text":`...)
+	b = appendJSONString(b, ev.Text)
+	b = append(b, `,"index":0`...)
+	if ev.Finished {
+		finish := string(runtime.FinishLength)
+		if ev.Reason != "" {
+			finish = string(ev.Reason)
+		}
+		b = append(b, `,"finish_reason":`...)
+		b = appendJSONString(b, finish)
+	}
+	return append(b, "}]}\n\n"...)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, matching
+// encoding/json's default encoding: control characters, quotes and
+// backslashes escaped, <, >, & HTML-escaped, U+2028/U+2029 escaped, and
+// invalid UTF-8 bytes replaced with the \ufffd escape.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				dst = append(dst, '\\', c)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i++
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\u202`...)
+			dst = append(dst, hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
