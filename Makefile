@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 race fuzz-smoke trace-smoke fmt-check bench-steady
+.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke fmt-check bench-steady bench-cluster
 
 # check runs everything a PR must pass: tier-1 build+tests, the race
 # tier (see ROADMAP.md), gofmt enforcement, a short fuzz smoke of both
-# fuzz targets, and the trace-out round-trip smoke.
-check: tier1 race fmt-check fuzz-smoke trace-smoke
+# fuzz targets, the trace-out round-trip smoke, and the cluster smoke.
+check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke
 
 tier1:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ tier1:
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/... ./internal/metrics/... ./internal/obs/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/... ./internal/metrics/... ./internal/obs/... ./internal/cluster/...
 
 # fmt-check fails when any file needs gofmt.
 fmt-check:
@@ -37,6 +37,20 @@ bench-steady:
 	echo "$$out" | awk -v date=$$(date +%F) -v cores=$$(nproc) \
 		-f scripts/steady_bench_json.awk > results/BENCH_steady_state.json && \
 	echo "wrote results/BENCH_steady_state.json"
+
+# cluster-smoke boots a 3-replica cluster on a loopback port, replays
+# multi-turn prefix-group traffic over the full HTTP/SSE path, drains a
+# replica mid-flight through /cluster/drain, and fails unless every stream
+# delivered exactly its requested tokens and no replica leaked KV.
+cluster-smoke:
+	$(GO) run ./cmd/gllm-cluster -selfcheck
+
+# bench-cluster regenerates results/BENCH_cluster_routing.json: the four
+# routing policies compared on one seeded synthetic day of diurnal
+# multi-turn chat traffic over live replica runtimes (time-compressed).
+# Takes ~15 minutes of wall clock.
+bench-cluster:
+	$(GO) run ./cmd/gllm-experiments -run cluster -scale paper -out results/
 
 # trace-smoke round-trips a short simulation's -trace-out file through the
 # obs Chrome-trace decoder (gllm-tracecheck exits nonzero on a bad trace).

@@ -151,6 +151,12 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 	} else {
 		body["prompt"] = strings.TrimSpace(strings.Repeat("tok ", item.PromptLen))
 	}
+	if item.PrefixGroup != 0 {
+		// Conversation identity rides along so prefix-caching servers (and
+		// prefix-affinity cluster routers) can reuse the shared-context KV.
+		body["prefix_group"] = item.PrefixGroup
+		body["shared_prefix_len"] = item.SharedPrefixLen
+	}
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return metrics.Record{}, err

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gllm/internal/runtime"
+	"gllm/internal/stats"
+)
+
+// drainCount drains a batched handle, returning the real tokens delivered
+// (non-empty Text) and the terminal reason.
+func drainCount(t *testing.T, h *runtime.Handle) (int, runtime.FinishReason) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n := 0
+	for evs := h.Next(ctx); evs != nil; evs = h.Next(ctx) {
+		for _, ev := range evs {
+			if ev.Text != "" {
+				n++
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("timed out draining handle %d after %d tokens", h.ID, n)
+	}
+	return n, h.FinishReason()
+}
+
+// TestDrainReplaceZeroDroppedTokens is the deterministic (seeded)
+// integration test behind the drain/replace guarantee: three real
+// replicas serve a seeded multi-turn conversation workload while one
+// replica is drained and replaced mid-run. Every stream must complete
+// with exactly its requested tokens — in-flight work on the drained
+// replica finishes, orphaned prefix groups re-home — and the cluster
+// audit (stream conservation, token conservation, KV-leak freedom across
+// replicas) must pass.
+func TestDrainReplaceZeroDroppedTokens(t *testing.T) {
+	const (
+		seed          = 0xd4a1
+		conversations = 18
+		turnsPer      = 3
+	)
+	r := New(Config{
+		Policy: NewPrefixAffinity(nil),
+		Retry: RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond,
+			MaxDelay: 10 * time.Millisecond, Budget: time.Minute},
+		Seed: seed,
+	})
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := r.Add(id, startReplica(t, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pre-generate the seeded trace: per conversation, turnsPer turns with
+	// growing prompts sharing the conversation prefix.
+	rng := stats.NewRNG(seed)
+	traces := make([][]Request, conversations)
+	for c := range traces {
+		turns := make([]Request, turnsPer)
+		prev := 0
+		promptLen := 48 + rng.Intn(80)
+		for i := range turns {
+			turns[i] = Request{
+				PromptLen:       promptLen,
+				MaxTokens:       4 + rng.Intn(12),
+				PrefixGroup:     int64(c + 1),
+				SharedPrefixLen: prev,
+			}
+			prev = promptLen
+			promptLen += 16 + rng.Intn(32)
+		}
+		traces[c] = turns
+	}
+
+	var (
+		audit     Audit
+		submitted atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for _, turns := range traces {
+		wg.Add(1)
+		go func(turns []Request) {
+			defer wg.Done()
+			for _, req := range turns {
+				submitted.Add(1)
+				h, _, err := r.Submit(context.Background(), req)
+				if err != nil {
+					if !errors.Is(err, runtime.ErrQueueFull) {
+						t.Errorf("submit: %v", err)
+					}
+					audit.RejectedSubmit()
+					continue
+				}
+				n, reason := drainCount(t, h)
+				audit.StreamDone(h.ID, n, req.MaxTokens, reason)
+				if reason != runtime.FinishLength {
+					t.Errorf("stream %d finished %q, want length", h.ID, reason)
+				}
+				if n != req.MaxTokens {
+					t.Errorf("stream %d delivered %d of %d tokens", h.ID, n, req.MaxTokens)
+				}
+			}
+		}(turns)
+	}
+
+	// Once the run is underway, roll replica b out for a fresh d — the
+	// zero-downtime replace. In-flight streams on b keep delivering.
+	for submitted.Load() < conversations {
+		time.Sleep(time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := r.Replace(drainCtx, "b", "d", startReplica(t, nil)); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+
+	wg.Wait()
+	if err := r.Shutdown(drainCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	all := append(r.Replicas(), r.Retired()...)
+	if err := audit.Verify(submitted.Load(), all); err != nil {
+		t.Fatalf("cluster audit failed:\n%v", err)
+	}
+	streams, completed, aborted, _ := audit.Streams()
+	if streams != conversations*turnsPer {
+		t.Fatalf("streams = %d, want %d", streams, conversations*turnsPer)
+	}
+	if aborted != 0 {
+		t.Fatalf("aborted = %d, want 0 (graceful drain must not abort)", aborted)
+	}
+
+	// The replacement must actually have taken traffic, and the completed
+	// records across replicas (retired b included) must cover every stream.
+	if rep := r.Retired(); len(rep) != 4 {
+		t.Fatalf("retired = %d replicas after shutdown, want 4", len(rep))
+	}
+	var nRecords int64
+	for _, rec := range r.Records() {
+		if rec.Completed() {
+			nRecords++
+		}
+	}
+	if nRecords != completed {
+		t.Fatalf("completed records = %d, want %d", nRecords, completed)
+	}
+	d := func() *Replica {
+		for _, rep := range all {
+			if rep.ID == "d" {
+				return rep
+			}
+		}
+		return nil
+	}()
+	if d == nil || d.Routed() == 0 {
+		t.Fatal("replacement replica d never took traffic")
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// A scaled-down day must still separate the policies: prefix-affinity
+// beats random on KV reuse (and therefore prefill work), and every
+// policy's run passes the cross-replica audit (ClusterRouting errors out
+// otherwise).
+func TestClusterRoutingPrefixBeatsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock replay")
+	}
+	spec := QuickClusterSpec()
+	spec.Day = 4 * time.Minute // ~1s wall per policy
+	res, err := ClusterRouting(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 2 {
+		t.Fatalf("policies = %d, want 2", len(res.Policies))
+	}
+	byName := map[string]ClusterPolicyResult{}
+	for _, p := range res.Policies {
+		if !p.AuditOK {
+			t.Fatalf("policy %s failed the cluster audit", p.Policy)
+		}
+		if p.Requests == 0 {
+			t.Fatalf("policy %s served no requests", p.Policy)
+		}
+		byName[p.Policy] = p
+	}
+	random, prefix := byName["random"], byName["prefix"]
+	if prefix.KVHitTokens <= random.KVHitTokens {
+		t.Fatalf("prefix KV hit tokens %d must beat random %d",
+			prefix.KVHitTokens, random.KVHitTokens)
+	}
+	// Same seeded trace for both policies: request counts line up unless a
+	// policy sheds load.
+	if prefix.Requests+int(prefix.Rejected) != random.Requests+int(random.Rejected) {
+		t.Fatalf("policies served different traces: %d+%d vs %d+%d",
+			prefix.Requests, prefix.Rejected, random.Requests, random.Rejected)
+	}
+}
+
+func TestClusterSpecValidation(t *testing.T) {
+	if _, err := ClusterRouting(ClusterSpec{}); err == nil {
+		t.Fatal("zero spec must be rejected")
+	}
+}

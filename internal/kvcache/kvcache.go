@@ -36,6 +36,17 @@ type Manager struct {
 	hits      int
 	hitTokens int64
 	evictions int
+
+	// evictHeap is a lazy binary min-heap of candidate evictable block
+	// ids: a block is pushed when it becomes cache-only and validated when
+	// popped, so eviction under a saturated cache costs O(log n) per block
+	// instead of rebuilding and sorting the whole evictable set on every
+	// evictOne (which collapsed day-scale prefix-cached serving — every
+	// allocation against a pool-spanning cache paid O(cached·log cached)
+	// per block). inEvictHeap bounds the heap to one entry per block; the
+	// eviction order is unchanged (always the smallest evictable id).
+	evictHeap   []int
+	inEvictHeap []bool
 }
 
 // New builds a manager holding capacityTokens token slots grouped into
@@ -92,10 +103,14 @@ func (m *Manager) CapacityTokens() int64 {
 	return int64(m.totalBlocks) * int64(m.blockSize)
 }
 
-// FreeRate returns the fraction of blocks currently free: the paper's
-// KV_free ∈ [0,1].
+// FreeRate returns the fraction of blocks currently allocatable — the
+// paper's KV_free ∈ [0,1]. Like FreeBlocks, it counts evictable
+// cache-only blocks as free: Allocate evicts them on demand, so a
+// prefix cache that has grown to span the whole pool must not read as
+// exhaustion (the token throttle would otherwise suspend prefill
+// against a cache it could evict, stalling an idle pipeline forever).
 func (m *Manager) FreeRate() float64 {
-	return float64(len(m.freeList)) / float64(m.totalBlocks)
+	return float64(m.FreeBlocks()) / float64(m.totalBlocks)
 }
 
 // UsedRate returns 1 - FreeRate.
@@ -192,6 +207,7 @@ func (m *Manager) Free(id SeqID) {
 			} else if m.refs[b] == 1 {
 				if _, cached := m.cachedKey[b]; cached {
 					m.cacheOnly++ // only the cache references it now
+					m.pushEvict(b)
 				}
 			}
 		}
@@ -263,6 +279,16 @@ func (m *Manager) checkInvariants() error {
 	}
 	if got := len(m.evictableBlocks()); got != m.cacheOnly {
 		return fmt.Errorf("kvcache: cacheOnly counter %d, actual evictable %d", m.cacheOnly, got)
+	}
+	// The lazy heap must hold (at least) every currently evictable block,
+	// or evictOne would wrongly report an exhausted cache.
+	for _, b := range m.evictableBlocks() {
+		if !m.inEvictHeap[b] {
+			return fmt.Errorf("kvcache: evictable block %d missing from evict heap", b)
+		}
+	}
+	if len(m.evictHeap) > m.totalBlocks {
+		return fmt.Errorf("kvcache: evict heap %d entries exceeds %d blocks", len(m.evictHeap), m.totalBlocks)
 	}
 	return nil
 }

@@ -268,3 +268,159 @@ func TestQuickRandomWorkloadInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A prefix cache that has grown to cover the whole pool must still read as
+// allocatable capacity: FreeRate counts cache-only (evictable) blocks as
+// free, exactly like FreeBlocks. The old strict-free-list definition made a
+// saturated cache look like KV exhaustion, so the token throttle suspended
+// prefill against blocks Allocate would happily have evicted — a permanent
+// stall on an idle pipeline (surfaced by the day-scale cluster benchmark).
+func TestFreeRateCountsEvictableCacheAsFree(t *testing.T) {
+	m := New(1024, 16) // 64 blocks
+	total := m.TotalBlocks()
+	// Fill the entire pool with one group's cached prefix, then drop the
+	// only sequence reference: every block becomes cache-only.
+	if err := m.Allocate(1, total*16); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterPrefix(1, 7, total*16)
+	m.Free(1)
+	if m.CachedBlocks() != total {
+		t.Fatalf("cached = %d, want %d", m.CachedBlocks(), total)
+	}
+	if got := m.FreeRate(); got != 1 {
+		t.Fatalf("FreeRate = %v with a fully evictable cache, want 1", got)
+	}
+	if got := m.UsedRate(); got != 0 {
+		t.Fatalf("UsedRate = %v, want 0", got)
+	}
+	// A live sequence's blocks are genuinely used; the cache remainder is not.
+	if err := m.Allocate(2, 16*16); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(total-16) / float64(total)
+	if got := m.FreeRate(); got != want {
+		t.Fatalf("FreeRate = %v after 16-block alloc, want %v", got, want)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The lazy evict heap must reproduce the full-scan eviction order exactly:
+// always the smallest currently-evictable block id, across interleaved
+// attach (re-reference), free (re-queue), and eviction.
+func TestEvictHeapMatchesAscendingOrder(t *testing.T) {
+	m := New(64*16, 16) // 64 blocks
+	// Three cached single-block groups, then drop the owning sequences.
+	for id := SeqID(1); id <= 3; id++ {
+		if err := m.Allocate(id, 16); err != nil {
+			t.Fatal(err)
+		}
+		m.RegisterPrefix(id, int64(id), 16)
+	}
+	m.Free(1)
+	m.Free(2)
+	m.Free(3) // blocks 0,1,2 evictable (ascending ids by LIFO alloc order)
+
+	// Re-reference group 2's block: it must be skipped, not evicted.
+	if got := m.AttachPrefix(10, 2, 16); got != 16 {
+		t.Fatalf("attach = %d", got)
+	}
+	if !m.evictOne() || !m.evictOne() {
+		t.Fatal("two evictable blocks expected")
+	}
+	if m.evictOne() {
+		t.Fatal("group 2's block is referenced; nothing further to evict")
+	}
+	if m.CachedBlocks() != 1 || m.MatchPrefix(2, 16) != 16 {
+		t.Fatalf("cached = %d, match(2) = %d", m.CachedBlocks(), m.MatchPrefix(2, 16))
+	}
+	// Release group 2 again: it must be re-queued and evictable once more.
+	m.Free(10)
+	if !m.evictOne() {
+		t.Fatal("re-released block must be evictable again")
+	}
+	if m.CachedBlocks() != 0 || m.FreeBlocks() != m.TotalBlocks() {
+		t.Fatalf("cache not empty: %d cached, %d free", m.CachedBlocks(), m.FreeBlocks())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eviction order equivalence under random load: interleave allocs, prefix
+// registration, attaches and frees, and after every operation compare
+// evictOne's choice against the full evictableBlocks scan.
+func TestEvictHeapEquivalenceRandom(t *testing.T) {
+	r := stats.NewRNG(42)
+	m := New(32*16, 16)
+	live := map[SeqID]bool{}
+	next := SeqID(1)
+	for step := 0; step < 2000; step++ {
+		switch r.Intn(4) {
+		case 0: // start a cached conversation turn
+			id := next
+			next++
+			if m.CanAllocate(id, 32) {
+				if err := m.Allocate(id, 32); err != nil {
+					t.Fatal(err)
+				}
+				m.RegisterPrefix(id, int64(1+r.Intn(8)), 32)
+				live[id] = true
+			}
+		case 1: // attach to a cached prefix
+			id := next
+			next++
+			if m.AttachPrefix(id, int64(1+r.Intn(8)), 32) > 0 {
+				live[id] = true
+			}
+		case 2: // finish a random live sequence
+			for id := range live {
+				m.Free(id)
+				delete(live, id)
+				break
+			}
+		case 3: // force an eviction and check it picked the minimum
+			want := m.evictableBlocks()
+			got := m.evictOne()
+			if got != (len(want) > 0) {
+				t.Fatalf("step %d: evictOne = %v with %d evictable", step, got, len(want))
+			}
+			if got && m.refs[want[0]] != 0 {
+				t.Fatalf("step %d: evicted wrong block (want %d first)", step, want[0])
+			}
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// BenchmarkSaturatedCacheAllocate measures allocation when every block is
+// cache-only (a prefix cache grown across the whole pool): each Allocate
+// must evict. The lazy heap makes this O(log n) per block; the old
+// full-scan-and-sort was O(n log n) per block and collapsed day-scale runs.
+func BenchmarkSaturatedCacheAllocate(b *testing.B) {
+	const blocks = 16384
+	m := New(blocks*16, 16)
+	for i := 0; i < blocks; i++ {
+		id := SeqID(i + 1)
+		if err := m.Allocate(id, 16); err != nil {
+			b.Fatal(err)
+		}
+		m.RegisterPrefix(id, int64(i+1), 16)
+		m.Free(id)
+	}
+	if m.CachedBlocks() != blocks {
+		b.Fatalf("setup: %d cached", m.CachedBlocks())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := SeqID(blocks + 1 + i)
+		if err := m.Allocate(id, 8*16); err != nil {
+			b.Fatal(err)
+		}
+		m.Free(id)
+	}
+}

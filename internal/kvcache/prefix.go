@@ -37,6 +37,54 @@ func (m *Manager) initPrefix() {
 	}
 	m.cache = make(map[prefixKey]int)
 	m.cachedKey = make(map[int]prefixKey)
+	m.inEvictHeap = make([]bool, m.totalBlocks)
+}
+
+// pushEvict queues a block as an eviction candidate (at most once).
+func (m *Manager) pushEvict(b int) {
+	if m.inEvictHeap[b] {
+		return
+	}
+	m.inEvictHeap[b] = true
+	m.evictHeap = append(m.evictHeap, b)
+	// Sift up.
+	h := m.evictHeap
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// popEvictMin removes and returns the smallest queued candidate id.
+func (m *Manager) popEvictMin() int {
+	h := m.evictHeap
+	b := h[0]
+	m.inEvictHeap[b] = false
+	last := len(h) - 1
+	h[0] = h[last]
+	m.evictHeap = h[:last]
+	h = m.evictHeap
+	// Sift down.
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return b
 }
 
 // MatchPrefix returns how many leading tokens of a prompt in the given
@@ -117,14 +165,15 @@ func (m *Manager) RegisterPrefix(id SeqID, group int64, upTo int) {
 		m.refs[b]++
 		if m.refs[b] == 1 {
 			m.cacheOnly++ // defensive: registration of an otherwise-unowned block
+			m.pushEvict(b)
 		}
 	}
 }
 
 // CachedBlocks returns how many blocks are currently registered in the
-// prefix cache (referenced or not).
+// prefix cache (referenced or not). A pure read: it never initializes
+// prefix state, so gauge scrapes of non-prefix deployments stay free.
 func (m *Manager) CachedBlocks() int {
-	m.initPrefix()
 	return len(m.cache)
 }
 
@@ -147,21 +196,28 @@ func (m *Manager) evictableBlocks() []int {
 	return out
 }
 
-// evictOne drops one cache-only block into the free list; reports success.
+// evictOne drops the lowest-id cache-only block into the free list;
+// reports success. Candidates come from the lazy heap: entries whose block
+// was re-referenced (or already evicted) since being queued are discarded;
+// such a block is re-queued by the next transition back to cache-only, so
+// the heap always holds a superset of the evictable set and the minimum
+// valid entry is exactly the block the old full-scan picked.
 func (m *Manager) evictOne() bool {
-	ev := m.evictableBlocks()
-	if len(ev) == 0 {
-		return false
+	for len(m.evictHeap) > 0 {
+		b := m.popEvictMin()
+		key, cached := m.cachedKey[b]
+		if !cached || m.refs[b] != 1 {
+			continue // stale candidate: re-referenced or gone
+		}
+		delete(m.cache, key)
+		delete(m.cachedKey, b)
+		m.refs[b] = 0
+		m.cacheOnly--
+		m.freeList = append(m.freeList, b)
+		m.evictions++
+		return true
 	}
-	b := ev[0]
-	key := m.cachedKey[b]
-	delete(m.cache, key)
-	delete(m.cachedKey, b)
-	m.refs[b] = 0
-	m.cacheOnly--
-	m.freeList = append(m.freeList, b)
-	m.evictions++
-	return true
+	return false
 }
 
 // Evictions returns how many cached blocks were reclaimed under pressure.

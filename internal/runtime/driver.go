@@ -41,11 +41,17 @@ func (rt *Runtime) driverLoop() {
 	// loop iteration: walking the pool and taking rt.mu per event used to
 	// dominate driver bookkeeping.
 	publishGauges := func() {
+		hits, hitTokens := pool.KV.PrefixHits()
 		g := poolGauges{
-			waitingPrefill: pool.WaitingPrefillTokens(),
-			runningDecode:  pool.RunningDecode(),
-			kvFreeRate:     pool.KV.FreeRate(),
-			preemptions:    pool.Preemptions(),
+			waitingPrefill:  pool.WaitingPrefillTokens(),
+			runningDecode:   pool.RunningDecode(),
+			kvFreeRate:      pool.KV.FreeRate(),
+			preemptions:     pool.Preemptions(),
+			kvTotalBlocks:   pool.KV.TotalBlocks(),
+			kvFreeBlocks:    pool.KV.FreeBlocks(),
+			kvCachedBlocks:  pool.KV.CachedBlocks(),
+			prefixHits:      hits,
+			prefixHitTokens: hitTokens,
 		}
 		rt.mu.Lock()
 		rt.gauges = g
@@ -397,6 +403,8 @@ func (rt *Runtime) driverLoop() {
 			onSubmit(sub)
 		case sub := <-rt.cancelCh:
 			onCancel(sub)
+		case q := <-rt.queryCh:
+			q.reply <- pool.KV.MatchPrefix(q.group, q.maxTokens)
 		case mb := <-rt.doneCh:
 			onDone(mb)
 		case <-stopCh:
@@ -414,6 +422,8 @@ func (rt *Runtime) driverLoop() {
 				onSubmit(sub)
 			case sub := <-rt.cancelCh:
 				onCancel(sub)
+			case q := <-rt.queryCh:
+				q.reply <- pool.KV.MatchPrefix(q.group, q.maxTokens)
 			case mb := <-rt.doneCh:
 				onDone(mb)
 			case <-stopCh:

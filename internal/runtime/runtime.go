@@ -305,6 +305,57 @@ type Snapshot struct {
 	// BubbleRate is the aggregate pipeline bubble rate over the uptime:
 	// 1 − Σ_s busy_s / (stages × uptime), the paper's §3 quantity.
 	BubbleRate float64
+	// KV block accounting (same publish cadence as KVFreeRate). After a
+	// drain, KVFreeBlocks+KVCachedBlocks == KVTotalBlocks must hold — the
+	// cluster audit's cross-replica KV-leak check.
+	KVTotalBlocks  int
+	KVFreeBlocks   int
+	KVCachedBlocks int
+	// PrefixHits / PrefixHitTokens count cross-request KV reuse: attaches
+	// served from the prefix cache and the tokens they covered.
+	PrefixHits      int
+	PrefixHitTokens int64
+}
+
+// RetryAfterHint derives a client backoff hint from the snapshot's load:
+// a 1 s floor, +1 s per eighth of the KV cache in use beyond half, and
+// +1 s per 256 resident requests, capped at 30 s. The HTTP frontend sends
+// it as Retry-After on 429s and the cluster router honors it when backing
+// off a saturated replica.
+func (s Snapshot) RetryAfterHint() time.Duration {
+	return retryHint(s.KVFreeRate, s.Resident)
+}
+
+// RetryAfterHint is Snapshot.RetryAfterHint on the lightweight view.
+func (p Pressure) RetryAfterHint() time.Duration {
+	return retryHint(p.KVFree, p.Resident)
+}
+
+func retryHint(kvFree float64, resident int) time.Duration {
+	secs := 1
+	if used := 1 - kvFree; used > 0.5 {
+		secs += int((used - 0.5) * 8) // up to +4 s as the cache fills
+	}
+	secs += resident / 256
+	if secs > 30 {
+		secs = 30
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Pressure is the lightweight routing view of a runtime: the load signals
+// a cluster router consults per candidate replica per request. Unlike
+// Stats it allocates nothing (Snapshot builds per-stage slices).
+type Pressure struct {
+	// KVFree is the last-published free fraction of the KV cache.
+	KVFree float64
+	// Resident counts admitted, unfinished requests.
+	Resident int
+	// QueueLen is the instantaneous submit-queue occupancy.
+	QueueLen int
+	// Health is one of HealthOK, HealthDegraded, HealthDraining,
+	// HealthStopped.
+	Health string
 }
 
 // Runtime is a live serving deployment.
@@ -317,6 +368,7 @@ type Runtime struct {
 
 	submitCh chan *submission
 	cancelCh chan *submission
+	queryCh  chan kvQuery
 	doneCh   chan *microBatch
 	stopCh   chan struct{}
 	killCh   chan struct{}
@@ -360,10 +412,23 @@ type Runtime struct {
 // poolGauges are the Snapshot fields derived by walking driver-owned pool
 // state; the driver publishes them under rt.mu at block/idle boundaries.
 type poolGauges struct {
-	waitingPrefill int
-	runningDecode  int
-	kvFreeRate     float64
-	preemptions    int
+	waitingPrefill  int
+	runningDecode   int
+	kvFreeRate      float64
+	preemptions     int
+	kvTotalBlocks   int
+	kvFreeBlocks    int
+	kvCachedBlocks  int
+	prefixHits      int
+	prefixHitTokens int64
+}
+
+// kvQuery asks the driver a question about its (driver-owned) KV cache;
+// the reply channel must be buffered so the driver never blocks answering.
+type kvQuery struct {
+	group     int64
+	maxTokens int
+	reply     chan int
 }
 
 // eventSlab is a reusable batch of token events: the driver appends a
@@ -456,6 +521,7 @@ func Start(cfg Config) (*Runtime, error) {
 		kvCapacity:  kvCap,
 		submitCh:    make(chan *submission, cfg.QueueDepth),
 		cancelCh:    make(chan *submission, cfg.QueueDepth),
+		queryCh:     make(chan kvQuery),
 		doneCh:      make(chan *microBatch, depth+1),
 		stopCh:      make(chan struct{}),
 		killCh:      make(chan struct{}),
@@ -522,6 +588,33 @@ func (rt *Runtime) SubmitCtxWithPrefix(ctx context.Context, promptLen, maxTokens
 // terminal abort events) are identical to Submit.
 func (rt *Runtime) SubmitBatched(ctx context.Context, promptLen, maxTokens int) (*Handle, error) {
 	return rt.submitMode(ctx, promptLen, maxTokens, 0, 0, true)
+}
+
+// SubmitBatchedPrefix is SubmitBatched for a request whose first sharedLen
+// prompt tokens are shared content of the given prefix group — the path the
+// HTTP frontend and the cluster router submit conversation follow-ups
+// through (group 0 behaves exactly like SubmitBatched).
+func (rt *Runtime) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
+	return rt.submitMode(ctx, promptLen, maxTokens, group, sharedLen, true)
+}
+
+// MatchPrefix reports how many leading tokens of a prompt in the given
+// prefix group are resident in this runtime's KV cache (whole blocks,
+// capped at maxTokens). The driver answers the query between scheduling
+// events, so the result is exact at the moment of the answer; a stopped
+// runtime reports 0. Safe for concurrent use — this is how a cluster
+// router decides whether a replica still holds a conversation's context.
+func (rt *Runtime) MatchPrefix(group int64, maxTokens int) int {
+	if group == 0 || maxTokens <= 0 {
+		return 0
+	}
+	q := kvQuery{group: group, maxTokens: maxTokens, reply: make(chan int, 1)}
+	select {
+	case rt.queryCh <- q:
+		return <-q.reply
+	case <-rt.stopped:
+		return 0
+	}
 }
 
 func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
@@ -631,15 +724,20 @@ func (rt *Runtime) Stats() Snapshot {
 	g := rt.gauges
 	rt.mu.Unlock()
 	s := Snapshot{
-		Iterations:     int(rt.iterations.Load()),
-		InFlight:       int(rt.inFlight.Load()),
-		WaitingPrefill: g.waitingPrefill,
-		RunningDecode:  g.runningDecode,
-		KVFreeRate:     g.kvFreeRate,
-		Finished:       int(rt.finished.Load()),
-		Preemptions:    g.preemptions,
-		Resident:       int(rt.resident.Load()),
-		Cancelled:      int(rt.cancelled.Load()),
+		Iterations:      int(rt.iterations.Load()),
+		InFlight:        int(rt.inFlight.Load()),
+		WaitingPrefill:  g.waitingPrefill,
+		RunningDecode:   g.runningDecode,
+		KVFreeRate:      g.kvFreeRate,
+		Finished:        int(rt.finished.Load()),
+		Preemptions:     g.preemptions,
+		Resident:        int(rt.resident.Load()),
+		Cancelled:       int(rt.cancelled.Load()),
+		KVTotalBlocks:   g.kvTotalBlocks,
+		KVFreeBlocks:    g.kvFreeBlocks,
+		KVCachedBlocks:  g.kvCachedBlocks,
+		PrefixHits:      g.prefixHits,
+		PrefixHitTokens: g.prefixHitTokens,
 	}
 	s.Rejected = rt.rejected.Load()
 	s.Uptime = time.Since(rt.start)
@@ -652,17 +750,38 @@ func (rt *Runtime) Stats() Snapshot {
 	if s.Uptime > 0 {
 		s.BubbleRate = 1 - busy/(s.Uptime.Seconds()*float64(len(rt.workers)))
 	}
+	s.Health = rt.health()
+	return s
+}
+
+// health classifies the runtime's current serving state.
+func (rt *Runtime) health() string {
 	switch {
 	case rt.isStopped():
-		s.Health = HealthStopped
+		return HealthStopped
 	case rt.isDraining():
-		s.Health = HealthDraining
+		return HealthDraining
 	case rt.degraded.Load():
-		s.Health = HealthDegraded
+		return HealthDegraded
 	default:
-		s.Health = HealthOK
+		return HealthOK
 	}
-	return s
+}
+
+// Pressure returns the lightweight routing view: KV headroom, residency,
+// queue occupancy, and health, without Snapshot's per-stage allocations.
+// Gauge staleness matches Stats (exact when the driver idles, at most a
+// few micro-batches behind under sustained load).
+func (rt *Runtime) Pressure() Pressure {
+	rt.mu.Lock()
+	free := rt.gauges.kvFreeRate
+	rt.mu.Unlock()
+	return Pressure{
+		KVFree:   free,
+		Resident: int(rt.resident.Load()),
+		QueueLen: len(rt.submitCh),
+		Health:   rt.health(),
+	}
 }
 
 func (rt *Runtime) isStopped() bool {

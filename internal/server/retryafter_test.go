@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gllm/internal/metrics"
+	"gllm/internal/runtime"
+)
+
+// fakeBackend lets tests script the Submit outcome and the load snapshot
+// the 429 path derives its Retry-After hint from.
+type fakeBackend struct {
+	submitErr error
+	snapshot  runtime.Snapshot
+	got       []SubmitRequest
+}
+
+func (b *fakeBackend) Submit(_ context.Context, req SubmitRequest) (*runtime.Handle, error) {
+	b.got = append(b.got, req)
+	return nil, b.submitErr
+}
+func (b *fakeBackend) Stats() runtime.Snapshot   { return b.snapshot }
+func (b *fakeBackend) Records() []metrics.Record { return nil }
+
+// TestRetryAfterDerivedFromLoad is the regression test for the hardcoded
+// "Retry-After: 1": the header must now follow Snapshot.RetryAfterHint,
+// growing with KV pressure and resident backlog.
+func TestRetryAfterDerivedFromLoad(t *testing.T) {
+	cases := []struct {
+		name string
+		st   runtime.Snapshot
+		want string
+	}{
+		{"idle", runtime.Snapshot{KVFreeRate: 1}, "1"},
+		{"kv pressure", runtime.Snapshot{KVFreeRate: 0.25}, "3"},
+		{"deep backlog", runtime.Snapshot{KVFreeRate: 1, Resident: 1024}, "5"},
+		{"saturated", runtime.Snapshot{KVFreeRate: 0, Resident: 10240}, "30"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			be := &fakeBackend{
+				submitErr: fmt.Errorf("synthetic: %w", runtime.ErrQueueFull),
+				snapshot:  tc.st,
+			}
+			ts := httptest.NewServer(NewBackend(be, "m"))
+			defer ts.Close()
+			resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+				"prompt_len": 8, "max_tokens": 8,
+			})
+			defer resp.Body.Close()
+			if resp.StatusCode != 429 {
+				t.Fatalf("status = %s, want 429", resp.Status)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.want {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.want)
+			}
+			// The derived hint must agree with the Snapshot method itself.
+			if want := int(tc.st.RetryAfterHint().Seconds()); fmt.Sprint(want) != tc.want {
+				t.Fatalf("test fixture drifted: hint %d, want %s", want, tc.want)
+			}
+		})
+	}
+}
+
+// Prefix extension fields must flow from the HTTP body into the backend
+// submission untouched, and invalid shared lengths must 400 before submit.
+func TestPrefixFieldsFlowToBackend(t *testing.T) {
+	be := &fakeBackend{submitErr: runtime.ErrStopped} // short-circuit after capture
+	ts := httptest.NewServer(NewBackend(be, "m"))
+	defer ts.Close()
+
+	resp := post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt_len": 100, "max_tokens": 4, "prefix_group": 42, "shared_prefix_len": 64,
+	})
+	resp.Body.Close()
+	if len(be.got) != 1 {
+		t.Fatalf("backend saw %d submissions, want 1", len(be.got))
+	}
+	if got := be.got[0]; got.PrefixGroup != 42 || got.SharedPrefixLen != 64 || got.PromptLen != 100 {
+		t.Fatalf("backend got %+v", got)
+	}
+
+	resp = post(t, ts.URL+"/v1/completions", map[string]interface{}{
+		"prompt_len": 10, "max_tokens": 4, "prefix_group": 1, "shared_prefix_len": 11,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("oversized shared_prefix_len: status = %s, want 400", resp.Status)
+	}
+	var e struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error.Message, "shared_prefix_len") {
+		t.Fatalf("error message %q", e.Error.Message)
+	}
+	if len(be.got) != 1 {
+		t.Fatal("invalid request must not reach the backend")
+	}
+}

@@ -1,10 +1,13 @@
-// Package server exposes a gLLM runtime over an OpenAI-compatible REST API
-// (the paper's frontend, §3.4): POST /v1/completions with optional SSE
-// streaming, GET /v1/models, plus health and metrics endpoints for the
-// benchmark harness.
+// Package server exposes a gLLM serving backend over an OpenAI-compatible
+// REST API (the paper's frontend, §3.4): POST /v1/completions with optional
+// SSE streaming, GET /v1/models, plus health and metrics endpoints for the
+// benchmark harness. The backend is pluggable: a single runtime (New) or
+// anything implementing Backend — the cluster router fronts N replicas
+// through the exact same handler, SSE encoder, and metrics exposition.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,9 +23,39 @@ import (
 	"gllm/internal/runtime"
 )
 
-// Server adapts a runtime to HTTP.
+// SubmitRequest carries one generation request into a Backend. PrefixGroup
+// (non-zero) marks the first SharedPrefixLen prompt tokens as shared
+// conversation context, enabling prefix-cache reuse and prefix-affinity
+// routing.
+type SubmitRequest struct {
+	PromptLen       int
+	MaxTokens       int
+	PrefixGroup     int64
+	SharedPrefixLen int
+}
+
+// Backend is what the HTTP frontend serves: a single runtime or a cluster
+// router. Submit must return a batched (slab-delivery) handle; errors are
+// mapped to HTTP statuses (runtime.ErrQueueFull → 429 with a derived
+// Retry-After, runtime.ErrStopped → 503).
+type Backend interface {
+	Submit(ctx context.Context, req SubmitRequest) (*runtime.Handle, error)
+	Stats() runtime.Snapshot
+	Records() []metrics.Record
+}
+
+// runtimeBackend adapts a single *runtime.Runtime to the Backend surface.
+type runtimeBackend struct{ rt *runtime.Runtime }
+
+func (b runtimeBackend) Submit(ctx context.Context, req SubmitRequest) (*runtime.Handle, error) {
+	return b.rt.SubmitBatchedPrefix(ctx, req.PromptLen, req.MaxTokens, req.PrefixGroup, req.SharedPrefixLen)
+}
+func (b runtimeBackend) Stats() runtime.Snapshot   { return b.rt.Stats() }
+func (b runtimeBackend) Records() []metrics.Record { return b.rt.Metrics().Records() }
+
+// Server adapts a serving backend to HTTP.
 type Server struct {
-	rt        *runtime.Runtime
+	be        Backend
 	modelName string
 	modelJSON []byte // modelName pre-encoded as a JSON string
 	mux       *http.ServeMux
@@ -34,7 +67,16 @@ func New(rt *runtime.Runtime, modelName string) *Server {
 	if rt == nil {
 		panic("server: nil runtime")
 	}
-	s := &Server{rt: rt, modelName: modelName, mux: http.NewServeMux(), started: time.Now()}
+	return NewBackend(runtimeBackend{rt}, modelName)
+}
+
+// NewBackend builds the HTTP handler for an arbitrary serving backend
+// (e.g. a cluster router fronting several runtimes).
+func NewBackend(be Backend, modelName string) *Server {
+	if be == nil {
+		panic("server: nil backend")
+	}
+	s := &Server{be: be, modelName: modelName, mux: http.NewServeMux(), started: time.Now()}
 	s.modelJSON = appendJSONString(nil, modelName)
 	s.mux.HandleFunc("/v1/completions", s.handleCompletions)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
@@ -54,6 +96,12 @@ type completionRequest struct {
 	PromptLen int    `json:"prompt_len,omitempty"` // benchmark extension: synthetic prompt length
 	MaxTokens int    `json:"max_tokens"`
 	Stream    bool   `json:"stream"`
+	// Benchmark extensions for conversation traffic: the first
+	// shared_prefix_len prompt tokens are shared context of prefix_group,
+	// reusable via the KV prefix cache and steerable by prefix-affinity
+	// cluster routing.
+	PrefixGroup     int64 `json:"prefix_group,omitempty"`
+	SharedPrefixLen int   `json:"shared_prefix_len,omitempty"`
 }
 
 type completionChoice struct {
@@ -117,16 +165,29 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	if promptLen <= 0 {
 		promptLen = runtime.TokenizeLen(req.Prompt)
 	}
+	if req.SharedPrefixLen < 0 || req.SharedPrefixLen > promptLen {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("shared_prefix_len %d out of prompt %d", req.SharedPrefixLen, promptLen))
+		return
+	}
 	// The request context binds the generation's lifetime to the client
 	// connection: a disconnect cancels the runtime request and frees its KV.
 	// Batched (slab) delivery keeps the serving hot path allocation-free;
 	// tokens are drained with Handle.Next below.
-	h, err := s.rt.SubmitBatched(r.Context(), promptLen, req.MaxTokens)
+	h, err := s.be.Submit(r.Context(), SubmitRequest{
+		PromptLen:       promptLen,
+		MaxTokens:       req.MaxTokens,
+		PrefixGroup:     req.PrefixGroup,
+		SharedPrefixLen: req.SharedPrefixLen,
+	})
 	if err != nil {
 		switch {
 		case errors.Is(err, runtime.ErrQueueFull):
-			// Backpressure: ask the client to shed load and retry.
-			w.Header().Set("Retry-After", "1")
+			// Backpressure: ask the client to shed load and come back once
+			// the backlog has had a chance to drain. The hint scales with
+			// KV pressure and residency instead of a hardcoded 1 s.
+			hint := s.be.Stats().RetryAfterHint()
+			w.Header().Set("Retry-After", strconv.Itoa(int(hint/time.Second)))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, runtime.ErrStopped):
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
@@ -335,7 +396,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	health := s.rt.Stats().Health
+	health := s.be.Stats().Health
 	w.Header().Set("Content-Type", "application/json")
 	if health != runtime.HealthOK {
 		// Degraded (stalled pipeline), draining, or stopped: load balancers
@@ -346,7 +407,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.rt.Stats()
+	st := s.be.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
 }
@@ -356,8 +417,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // record list at scrape time, so every series is monotone across scrapes by
 // construction; gauges reflect the instantaneous Stats snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	records := s.rt.Metrics().Records()
-	st := s.rt.Stats()
+	records := s.be.Records()
+	st := s.be.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 
 	byReason := map[string]int{}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gllm/internal/stats"
+)
+
+// Envelope modulates an arrival process's instantaneous rate: at offset t
+// the effective rate is baseRate * env(t). Envelopes must be non-negative;
+// values above 1 are allowed (the base rate then describes the average or
+// reference load rather than the ceiling).
+type Envelope func(at time.Duration) float64
+
+// DiurnalEnvelope models a day/night traffic cycle as a raised cosine:
+// the multiplier peaks at `peak` every `period` (first peak at peakAt) and
+// bottoms out at `trough` half a period later. trough <= peak and
+// trough >= 0 are required; period must be positive.
+func DiurnalEnvelope(period time.Duration, trough, peak float64, peakAt time.Duration) Envelope {
+	if period <= 0 || trough < 0 || peak < trough {
+		panic(fmt.Sprintf("workload: DiurnalEnvelope(period %v, trough %g, peak %g)", period, trough, peak))
+	}
+	mid := (peak + trough) / 2
+	amp := (peak - trough) / 2
+	return func(at time.Duration) float64 {
+		phase := 2 * math.Pi * float64(at-peakAt) / float64(period)
+		return mid + amp*math.Cos(phase)
+	}
+}
+
+// envelopeMax bounds an envelope over a window by deterministic dense
+// sampling (endpoints included), so thinning needs no closed-form maximum.
+func envelopeMax(env Envelope, window time.Duration) float64 {
+	const samples = 4096
+	max := 0.0
+	for i := 0; i <= samples; i++ {
+		at := time.Duration(float64(window) * float64(i) / samples)
+		v := env(at)
+		if v < 0 {
+			panic(fmt.Sprintf("workload: envelope negative (%g) at %v", v, at))
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		panic("workload: envelope is zero over the whole window")
+	}
+	return max
+}
+
+// PoissonEnvelope generates an inhomogeneous Poisson trace whose
+// instantaneous rate is rate*env(at), via thinning: candidate arrivals are
+// drawn from a homogeneous process at the envelope's maximum rate and kept
+// with probability env(t)/max. A nil env degenerates to Poisson (and an
+// identical RNG stream, so seeded flat traces are unchanged).
+func PoissonEnvelope(r *stats.RNG, d Dataset, rate float64, window time.Duration, env Envelope) []Item {
+	if env == nil {
+		return Poisson(r, d, rate, window)
+	}
+	if rate <= 0 || window <= 0 {
+		panic(fmt.Sprintf("workload: PoissonEnvelope rate %g window %v", rate, window))
+	}
+	envMax := envelopeMax(env, window)
+	var items []Item
+	t := time.Duration(0)
+	for {
+		t += time.Duration(r.Exp(rate*envMax) * float64(time.Second))
+		if t >= window {
+			break
+		}
+		if r.Float64()*envMax > env(t) {
+			continue // thinned out: off-peak
+		}
+		p, o := d.Sample(r)
+		items = append(items, Item{Arrival: t, PromptLen: p, OutputLen: o})
+	}
+	return items
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gllm/internal/stats"
+)
+
+func TestDiurnalEnvelopeShape(t *testing.T) {
+	period := 24 * time.Hour
+	peakAt := 14 * time.Hour
+	env := DiurnalEnvelope(period, 0.2, 1.0, peakAt)
+	if got := env(peakAt); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("env(peak) = %g, want 1.0", got)
+	}
+	if got := env(peakAt + period/2); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("env(trough) = %g, want 0.2", got)
+	}
+	// Periodic: one full day later the multiplier repeats.
+	if a, b := env(3*time.Hour), env(3*time.Hour+period); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("env not periodic: %g vs %g", a, b)
+	}
+	// Never outside [trough, peak].
+	for h := 0; h < 48; h++ {
+		v := env(time.Duration(h) * time.Hour)
+		if v < 0.2-1e-9 || v > 1.0+1e-9 {
+			t.Fatalf("env(%dh) = %g out of [0.2, 1.0]", h, v)
+		}
+	}
+}
+
+func TestDiurnalEnvelopePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero period":    func() { DiurnalEnvelope(0, 0.2, 1, 0) },
+		"negative floor": func() { DiurnalEnvelope(time.Hour, -0.1, 1, 0) },
+		"peak < trough":  func() { DiurnalEnvelope(time.Hour, 1, 0.5, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Thinning must concentrate arrivals under the envelope's peak: with a
+// peak at 1/4 of the window and a deep trough at 3/4, the first half of
+// the window carries several times the second half's traffic, and the
+// total count tracks rate * integral(env).
+func TestPoissonEnvelopeThinning(t *testing.T) {
+	r := stats.NewRNG(99)
+	window := 400 * time.Second
+	env := DiurnalEnvelope(window, 0.1, 1.0, window/4)
+	const rate = 50.0
+	items := PoissonEnvelope(r, ShareGPT, rate, window, env)
+	if err := Validate(items); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected count: rate * ∫env = rate * mid * window (cosine integrates
+	// to its midpoint over a full period) = 50 * 0.55 * 400 = 11000.
+	want := rate * 0.55 * window.Seconds()
+	if got := float64(len(items)); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("arrivals = %v, want ~%v", got, want)
+	}
+	var firstHalf, secondHalf int
+	for _, it := range items {
+		if it.Arrival < window/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if firstHalf < 2*secondHalf {
+		t.Fatalf("peak half %d vs trough half %d: envelope not shaping arrivals", firstHalf, secondHalf)
+	}
+}
+
+// A nil envelope must be byte-for-byte the flat Poisson trace (same seed,
+// same RNG stream): the envelope extension cannot silently change every
+// seeded experiment already committed.
+func TestPoissonEnvelopeNilMatchesPoisson(t *testing.T) {
+	a := PoissonEnvelope(stats.NewRNG(7), Azure, 20, 30*time.Second, nil)
+	b := Poisson(stats.NewRNG(7), Azure, 20, 30*time.Second)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Conversations with an envelope: starts follow the shape, turns stay
+// well-formed, and the nil-envelope trace is unchanged.
+func TestConversationsEnvelope(t *testing.T) {
+	window := 600 * time.Second
+	spec := DefaultConversationSpec(ShareGPT, 8, window)
+	spec.Envelope = DiurnalEnvelope(window, 0.05, 1.0, window/4)
+	items := Conversations(stats.NewRNG(5), spec)
+	if err := Validate(items); err != nil {
+		t.Fatal(err)
+	}
+	var firstHalf, secondHalf int
+	for _, it := range items {
+		if it.SharedPrefixLen > 0 {
+			continue // count conversation starts, not follow-up turns
+		}
+		if it.Arrival < window/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	if firstHalf < 2*secondHalf {
+		t.Fatalf("starts %d/%d: envelope not shaping conversations", firstHalf, secondHalf)
+	}
+
+	flat := DefaultConversationSpec(ShareGPT, 8, window)
+	was := Conversations(stats.NewRNG(5), flat)
+	flat.Envelope = nil
+	again := Conversations(stats.NewRNG(5), flat)
+	if len(was) != len(again) {
+		t.Fatal("nil envelope changed the seeded trace")
+	}
+}
