@@ -1,12 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke fmt-check bench-steady bench-cluster
+.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke remote-smoke fmt-check bench-steady bench-cluster
 
 # check runs everything a PR must pass: tier-1 build+tests, the race
 # tier (see ROADMAP.md), gofmt enforcement, a short fuzz smoke of both
-# fuzz targets, the trace-out round-trip smoke, and the cluster smoke.
-check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke
+# fuzz targets, the trace-out round-trip smoke, and both cluster smokes
+# (in-process and remote-transport).
+check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke remote-smoke
 
 tier1:
 	$(GO) build ./...
@@ -44,6 +45,17 @@ bench-steady:
 # delivered exactly its requested tokens and no replica leaked KV.
 cluster-smoke:
 	$(GO) run ./cmd/gllm-cluster -selfcheck
+
+# remote-smoke exercises the remote-replica HTTP transport against live
+# processes: 2 gllm-server children plus 1 in-process replica behind one
+# router; drains a remote mid-flight (audited, zero dropped tokens), kills
+# the other mid-stream (handle must finish "disconnected", survivors
+# unaffected), then revives it on the same port and verifies the prober
+# flips it back to routable.
+remote-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/gllm-server ./cmd/gllm-server && \
+	$(GO) run ./cmd/gllm-cluster -selfcheck-remote -server-bin $$tmp/gllm-server
 
 # bench-cluster regenerates results/BENCH_cluster_routing.json: the four
 # routing policies compared on one seeded synthetic day of diurnal

@@ -42,10 +42,12 @@ func main() {
 			"cap on concurrent in-flight requests (0 = unlimited; arrivals stay open-loop)")
 		histOut = flag.String("hist-out", "",
 			"write client-side TTFT/TPOT/E2EL/queue-delay histograms as CSV (metric,kind,value rows)")
+		promptMode = flag.String("prompt-mode", "synthetic",
+			"prompt rendering: synthetic (prompt_len only), real (full prompt string), auto (real below 4096 tokens)")
 	)
 	flag.Parse()
 	if err := run(*host, *port, *modelName, *datasetName, *datasetPath, *azureCSV,
-		*rate, *duration, *numPrompts, *seed, *speedup, *goodput, *parallel, *histOut); err != nil {
+		*rate, *duration, *numPrompts, *seed, *speedup, *goodput, *parallel, *histOut, *promptMode); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-bench:", err)
 		os.Exit(1)
 	}
@@ -53,7 +55,19 @@ func main() {
 
 func run(host string, port int, modelName, datasetName, datasetPath, azureCSV string,
 	rate float64, duration time.Duration, numPrompts int, seed uint64,
-	speedup float64, goodput string, parallel int, histOut string) error {
+	speedup float64, goodput string, parallel int, histOut, promptMode string) error {
+
+	var mode client.PromptMode
+	switch promptMode {
+	case "synthetic":
+		mode = client.PromptSynthetic
+	case "real":
+		mode = client.PromptReal
+	case "auto":
+		mode = client.PromptAuto
+	default:
+		return fmt.Errorf("unknown -prompt-mode %q (synthetic, real, auto)", promptMode)
+	}
 
 	var items []workload.Item
 	switch {
@@ -95,12 +109,12 @@ func run(host string, port int, modelName, datasetName, datasetPath, azureCSV st
 		len(items), workload.TotalTokens(items), speedup)
 
 	res, err := client.Run(context.Background(), client.Options{
-		BaseURL:            fmt.Sprintf("http://%s:%d", host, port),
-		Model:              modelName,
-		Items:              items,
-		SpeedUp:            speedup,
-		UseSyntheticPrompt: true,
-		MaxInFlight:        parallel,
+		BaseURL:     fmt.Sprintf("http://%s:%d", host, port),
+		Model:       modelName,
+		Items:       items,
+		SpeedUp:     speedup,
+		PromptMode:  mode,
+		MaxInFlight: parallel,
 	})
 	if err != nil {
 		return err

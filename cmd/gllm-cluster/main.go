@@ -71,7 +71,25 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		selfcheck = flag.Bool("selfcheck", false,
 			"boot 3 replicas on a loopback port, serve prefix-group traffic, drain one mid-flight, verify zero dropped tokens, exit")
+
+		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond,
+			"health-probe period for remote replicas")
+		probeFailures = flag.Int("probe-failures", 3,
+			"consecutive probe failures before a remote replica reads unreachable")
+		connectTimeout = flag.Duration("connect-timeout", 2*time.Second,
+			"per-attempt connect timeout for remote submissions and probes")
+		selfcheckRemote = flag.Bool("selfcheck-remote", false,
+			"spawn 2 gllm-server processes (-server-bin) plus 1 in-process replica behind one router, drain one remote mid-flight, kill the other mid-stream, verify recovery, exit")
+		serverBin = flag.String("server-bin", "",
+			"path to a gllm-server binary for -selfcheck-remote")
 	)
+	var remotes []string
+	flag.Func("replica",
+		"remote replica endpoint (repeatable), e.g. -replica http://10.0.0.7:8000; mixes with -replicas in-process runtimes",
+		func(v string) error {
+			remotes = append(remotes, v)
+			return nil
+		})
 	flag.Parse()
 	if err := run(clusterOptions{
 		port: *port, replicas: *replicas, policy: *policy,
@@ -82,6 +100,8 @@ func main() {
 			MaxDelay: *retryMax, Budget: *retryBudget, HonorRetryAfter: true,
 		},
 		drainTimeout: *drainTimeout, seed: *seed, logLevel: *logLevel, selfcheck: *selfcheck,
+		remotes: remotes, probeInterval: *probeInterval, probeFailures: *probeFailures,
+		connectTimeout: *connectTimeout, selfcheckRemote: *selfcheckRemote, serverBin: *serverBin,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-cluster:", err)
 		os.Exit(1)
@@ -105,6 +125,26 @@ type clusterOptions struct {
 	seed         uint64
 	logLevel     string
 	selfcheck    bool
+
+	remotes         []string // remote replica base URLs (-replica, repeatable)
+	probeInterval   time.Duration
+	probeFailures   int
+	connectTimeout  time.Duration
+	selfcheckRemote bool
+	serverBin       string
+}
+
+// remoteConfig renders the shared remote-transport settings for one
+// endpoint.
+func (o clusterOptions) remoteConfig(baseURL string, logger *slog.Logger) cluster.RemoteConfig {
+	return cluster.RemoteConfig{
+		BaseURL:          baseURL,
+		Model:            o.modelPath,
+		ConnectTimeout:   o.connectTimeout,
+		ProbeInterval:    o.probeInterval,
+		FailureThreshold: o.probeFailures,
+		Logger:           logger,
+	}
 }
 
 func parseLevel(s string) (slog.Level, error) {
@@ -184,6 +224,18 @@ func buildCluster(o clusterOptions, logger *slog.Logger) (*admin, error) {
 		}
 		if _, err := a.router.Add(fmt.Sprintf("r%d", a.nextID.Add(1)-1), rt); err != nil {
 			rt.Close()
+			a.router.Close()
+			return nil, err
+		}
+	}
+	for i, baseURL := range o.remotes {
+		rem, err := cluster.NewRemote(o.remoteConfig(baseURL, logger))
+		if err != nil {
+			a.router.Close()
+			return nil, err
+		}
+		if _, err := a.router.Add(fmt.Sprintf("remote%d", i), rem); err != nil {
+			rem.Close()
 			a.router.Close()
 			return nil, err
 		}
@@ -302,6 +354,9 @@ func run(o clusterOptions) error {
 	if o.selfcheck {
 		return selfCheck(o, logger)
 	}
+	if o.selfcheckRemote {
+		return selfCheckRemote(o, logger)
+	}
 
 	a, err := buildCluster(o, logger)
 	if err != nil {
@@ -393,11 +448,11 @@ func selfCheck(o clusterOptions, logger *slog.Logger) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	res, err := client.Run(ctx, client.Options{
-		BaseURL:            base,
-		Model:              o.modelPath,
-		Items:              trace,
-		UseSyntheticPrompt: true,
-		MaxInFlight:        64,
+		BaseURL:     base,
+		Model:       o.modelPath,
+		Items:       trace,
+		PromptMode:  client.PromptSynthetic,
+		MaxInFlight: 64,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,379 @@
+package main
+
+// selfCheckRemote is the end-to-end smoke behind `make remote-smoke`: two
+// real gllm-server processes on loopback ports plus one in-process replica
+// behind a single router, exercising the remote transport's full fault
+// matrix against live processes:
+//
+//  1. conversation traffic spread across all three replicas, one remote
+//     drained mid-flight — the cluster audit must prove zero dropped
+//     tokens and no KV leaks across the HTTP boundary;
+//  2. the other remote killed (SIGKILL) mid-stream — the in-flight handle
+//     must terminate promptly with finish reason "disconnected" (never
+//     hang), the replica must flip to unreachable, and survivors must keep
+//     serving exactly-once streams;
+//  3. a fresh process on the same port — the prober must flip the replica
+//     back to routable with no manual reset, and a stream must complete
+//     on it again.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"gllm/internal/cluster"
+	"gllm/internal/runtime"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+// freePort grabs an ephemeral loopback port and releases it for a child
+// process to bind.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port, nil
+}
+
+// spawnServer starts one gllm-server child with a slowed cost model
+// (time-scale 0.1) so streams live long enough to drain and kill
+// mid-flight.
+func spawnServer(bin string, port int, o clusterOptions) (*exec.Cmd, error) {
+	cmd := exec.Command(bin,
+		"-port", strconv.Itoa(port),
+		"-model-path", o.modelPath,
+		"-pp", strconv.Itoa(o.pp),
+		"-sched", o.schedName,
+		"-time-scale", "0.1",
+		"-enable-prefix-cache",
+		"-log-level", "warn",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// waitHealthy polls /healthz until the server answers 200.
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not healthy within %v", base, timeout)
+}
+
+// drainStream drains a handle to completion within timeout, returning the
+// real (non-empty Text) token count and terminal reason; an error means
+// the handle hung.
+func drainStream(h *runtime.Handle, timeout time.Duration) (int, runtime.FinishReason, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	tokens := 0
+	for {
+		evs := h.Next(ctx)
+		if evs == nil {
+			break
+		}
+		for _, ev := range evs {
+			if ev.Text != "" {
+				tokens++
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return tokens, "", fmt.Errorf("stream %d hung (drained %d tokens before %v timeout)", h.ID, tokens, timeout)
+	}
+	return tokens, h.FinishReason(), nil
+}
+
+// waitPressure polls a replica's health until cond holds.
+func waitPressure(rep *cluster.Replica, timeout time.Duration, cond func(runtime.Pressure) bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond(rep.Pressure()) {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("replica %s stuck at health %q after %v", rep.ID, rep.Pressure().Health, timeout)
+}
+
+func selfCheckRemote(o clusterOptions, logger *slog.Logger) error {
+	if o.serverBin == "" {
+		return fmt.Errorf("selfcheck-remote: -server-bin required (path to a gllm-server binary)")
+	}
+	o.timeScale = 0 // the in-process replica runs at full speed
+
+	// Boot the two remote processes.
+	portA, err := freePort()
+	if err != nil {
+		return err
+	}
+	portB, err := freePort()
+	if err != nil {
+		return err
+	}
+	procA, err := spawnServer(o.serverBin, portA, o)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = procA.Process.Kill(); _ = procA.Wait() }()
+	procB, err := spawnServer(o.serverBin, portB, o)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = procB.Process.Kill(); _ = procB.Wait() }()
+	baseA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	baseB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	if err := waitHealthy(baseA, 15*time.Second); err != nil {
+		return err
+	}
+	if err := waitHealthy(baseB, 15*time.Second); err != nil {
+		return err
+	}
+
+	// One router: remoteA + remoteB over HTTP, plus one in-process replica.
+	// Round-robin spreads streams across all three deterministically.
+	pol, err := cluster.ByName("round-robin", o.seed)
+	if err != nil {
+		return err
+	}
+	router := cluster.New(cluster.Config{Policy: pol, Retry: o.retry, Seed: o.seed, Logger: logger})
+	defer router.Close()
+	cfg := o.remoteConfig(baseA, logger)
+	cfg.ProbeInterval = 50 * time.Millisecond
+	remA, err := cluster.NewRemote(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.BaseURL = baseB
+	remB, err := cluster.NewRemote(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := router.Add("remoteA", remA); err != nil {
+		return err
+	}
+	repB, err := router.Add("remoteB", remB)
+	if err != nil {
+		return err
+	}
+	fresh, err := replicaFactory(o)
+	if err != nil {
+		return err
+	}
+	localRT, err := fresh()
+	if err != nil {
+		return err
+	}
+	if _, err := router.Add("local", localRT); err != nil {
+		return err
+	}
+
+	// Phase 1: conversation traffic across all replicas; drain remoteA
+	// mid-flight. The transport drain must let its in-flight streams finish
+	// (zero dropped tokens), proven by the cluster audit.
+	trace := workload.Conversations(stats.NewRNG(o.seed), workload.ConversationSpec{
+		Dataset:     workload.ShareGPT,
+		Rate:        16,
+		Window:      time.Second,
+		MaxTurns:    3,
+		ThinkMean:   50 * time.Millisecond,
+		FollowUpLen: 24,
+		MaxContext:  1024,
+	})
+	if len(trace) == 0 {
+		return fmt.Errorf("selfcheck-remote: empty trace")
+	}
+	var (
+		audit     cluster.Audit
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		streamErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if streamErr == nil {
+			streamErr = err
+		}
+		mu.Unlock()
+	}
+	sem := make(chan struct{}, 16)
+	drained := make(chan error, 1)
+	go func() {
+		time.Sleep(400 * time.Millisecond) // mid-flight
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		drained <- router.Drain(ctx, "remoteA")
+	}()
+	for _, it := range trace {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(it workload.Item) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req := cluster.Request{
+				PromptLen: it.PromptLen, MaxTokens: it.OutputLen,
+				PrefixGroup: it.PrefixGroup, SharedPrefixLen: it.SharedPrefixLen,
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			h, _, err := router.Submit(ctx, req)
+			if err != nil {
+				audit.RejectedSubmit()
+				fail(fmt.Errorf("submit: %w", err))
+				return
+			}
+			tokens, reason, err := drainStream(h, time.Minute)
+			if err != nil {
+				fail(err)
+				return
+			}
+			audit.StreamDone(h.ID, tokens, req.MaxTokens, reason)
+		}(it)
+	}
+	wg.Wait()
+	if err := <-drained; err != nil {
+		return fmt.Errorf("selfcheck-remote: drain remoteA: %w", err)
+	}
+	if streamErr != nil {
+		return fmt.Errorf("selfcheck-remote: phase 1: %w", streamErr)
+	}
+	reps := append(router.Replicas(), router.Retired()...)
+	if err := audit.Verify(int64(len(trace)), reps); err != nil {
+		return fmt.Errorf("selfcheck-remote: audit after drain: %w", err)
+	}
+	logger.Info("phase 1 ok: drained remoteA mid-flight, audit clean",
+		"streams", len(trace), "delivered", audit.DeliveredTokens())
+
+	// Phase 2: kill remoteB mid-stream. The handle must terminate promptly
+	// with "disconnected", remoteB must read unreachable, and the survivor
+	// must keep serving exactly-once streams.
+	long := cluster.Request{PromptLen: 64, MaxTokens: 4000}
+	var h *runtime.Handle
+	for tries := 0; ; tries++ {
+		if tries >= 10 {
+			return fmt.Errorf("selfcheck-remote: stream never landed on remoteB")
+		}
+		var rep *cluster.Replica
+		h, rep, err = router.Submit(context.Background(), long)
+		if err != nil {
+			return fmt.Errorf("selfcheck-remote: phase 2 submit: %w", err)
+		}
+		if rep.ID == "remoteB" {
+			break
+		}
+		h.Cancel()
+		if _, _, err := drainStream(h, 30*time.Second); err != nil {
+			return err
+		}
+	}
+	firstCtx, firstCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	first := h.Next(firstCtx)
+	firstCancel()
+	if first == nil {
+		return fmt.Errorf("selfcheck-remote: no tokens from remoteB before kill")
+	}
+	if err := procB.Process.Kill(); err != nil {
+		return err
+	}
+	_ = procB.Wait()
+	killedAt := time.Now()
+	tokens, reason, err := drainStream(h, 15*time.Second)
+	if err != nil {
+		return fmt.Errorf("selfcheck-remote: %w", err)
+	}
+	if reason != runtime.FinishDisconnected {
+		return fmt.Errorf("selfcheck-remote: killed stream finished %q after %d tokens, want disconnected", reason, tokens)
+	}
+	if err := waitPressure(repB, 10*time.Second, func(p runtime.Pressure) bool {
+		return p.Health == cluster.HealthUnreachable
+	}); err != nil {
+		return fmt.Errorf("selfcheck-remote: %w", err)
+	}
+	for i := 0; i < 4; i++ {
+		want := 12 + i
+		h, rep, err := router.Submit(context.Background(), cluster.Request{PromptLen: 32, MaxTokens: want})
+		if err != nil {
+			return fmt.Errorf("selfcheck-remote: survivor submit: %w", err)
+		}
+		if rep.ID != "local" {
+			return fmt.Errorf("selfcheck-remote: stream routed to %q with remoteB down", rep.ID)
+		}
+		tokens, reason, err := drainStream(h, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		if tokens != want || reason != runtime.FinishLength {
+			return fmt.Errorf("selfcheck-remote: survivor stream delivered %d/%d (%q)", tokens, want, reason)
+		}
+	}
+	logger.Info("phase 2 ok: killed remoteB mid-stream",
+		"disconnect_latency", time.Since(killedAt), "abort_reason", reason)
+
+	// Phase 3: a fresh process on the same port must bring remoteB back
+	// without any transport reset.
+	procB2, err := spawnServer(o.serverBin, portB, o)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = procB2.Process.Kill(); _ = procB2.Wait() }()
+	if err := waitHealthy(baseB, 15*time.Second); err != nil {
+		return err
+	}
+	if err := waitPressure(repB, 10*time.Second, func(p runtime.Pressure) bool {
+		return p.Health == runtime.HealthOK
+	}); err != nil {
+		return fmt.Errorf("selfcheck-remote: no recovery: %w", err)
+	}
+	for tries := 0; ; tries++ {
+		if tries >= 10 {
+			return fmt.Errorf("selfcheck-remote: no stream landed on revived remoteB")
+		}
+		h, rep, err := router.Submit(context.Background(), cluster.Request{PromptLen: 16, MaxTokens: 8})
+		if err != nil {
+			return fmt.Errorf("selfcheck-remote: phase 3 submit: %w", err)
+		}
+		tokens, reason, err := drainStream(h, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		if tokens != 8 || reason != runtime.FinishLength {
+			return fmt.Errorf("selfcheck-remote: post-recovery stream delivered %d/8 (%q)", tokens, reason)
+		}
+		if rep.ID == "remoteB" {
+			break
+		}
+	}
+
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer sdCancel()
+	if err := router.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("selfcheck-remote: shutdown: %w", err)
+	}
+	logger.Info("selfcheck-remote ok")
+	fmt.Printf("selfcheck-remote ok: %d audited streams, drained remoteA mid-flight, "+
+		"killed and revived remoteB, zero dropped tokens\n", len(trace))
+	return nil
+}

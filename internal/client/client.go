@@ -5,20 +5,51 @@
 package client
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"gllm/internal/metrics"
+	"gllm/internal/sse"
 	"gllm/internal/workload"
 )
+
+// PromptMode resolves how the client renders each request's prompt.
+type PromptMode int
+
+const (
+	// PromptAuto (the zero value) sends a synthetic prompt_len for prompts
+	// above SyntheticThreshold tokens and a real prompt string below it.
+	PromptAuto PromptMode = iota
+	// PromptSynthetic always sends prompt_len (cheapest; no prompt bytes).
+	PromptSynthetic
+	// PromptReal always constructs the full prompt string, regardless of
+	// length — the opt-out PromptAuto used to make impossible.
+	PromptReal
+)
+
+// SyntheticThreshold is the prompt length above which PromptAuto switches
+// to synthetic prompts.
+const SyntheticThreshold = 4096
+
+// synthetic resolves the mode for one item's prompt length.
+func (m PromptMode) synthetic(promptLen int) bool {
+	switch m {
+	case PromptSynthetic:
+		return true
+	case PromptReal:
+		return false
+	default:
+		return promptLen > SyntheticThreshold
+	}
+}
 
 // Options configures a benchmark run.
 type Options struct {
@@ -32,10 +63,10 @@ type Options struct {
 	SpeedUp float64
 	// HTTPClient overrides the default client.
 	HTTPClient *http.Client
-	// UseSyntheticPrompt sends prompt_len instead of constructing a real
-	// prompt string (cheaper for large prompts). Default true for lengths
-	// above 4096.
-	UseSyntheticPrompt bool
+	// PromptMode selects synthetic (prompt_len) vs real prompt strings.
+	// The default PromptAuto goes synthetic only above SyntheticThreshold
+	// tokens; PromptReal forces real prompts even for long items.
+	PromptMode PromptMode
 	// MaxInFlight caps concurrent in-flight requests (0 = unlimited).
 	// Arrival times stay open-loop; requests beyond the cap queue in the
 	// client and their measured latency includes the queueing delay.
@@ -114,7 +145,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 					return
 				}
 			}
-			rec, err := sendOne(ctx, httpc, opts, int64(id), item)
+			rec, err := sendOne(ctx, httpc, opts, int64(id), item, start)
 			mu.Lock()
 			switch {
 			case errors.Is(err, errRejected):
@@ -139,13 +170,15 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 }
 
 // sendOne issues one streaming completion and measures its latencies.
-func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, item workload.Item) (metrics.Record, error) {
+// start is the run's epoch: Record.Arrival is the send time relative to
+// it, so arrival/queue-delay columns derived downstream are meaningful.
+func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, item workload.Item, start time.Time) (metrics.Record, error) {
 	body := map[string]interface{}{
 		"model":      opts.Model,
 		"max_tokens": item.OutputLen,
 		"stream":     true,
 	}
-	if opts.UseSyntheticPrompt || item.PromptLen > 4096 {
+	if opts.PromptMode.synthetic(item.PromptLen) {
 		body["prompt_len"] = item.PromptLen
 		body["prompt"] = ""
 	} else {
@@ -194,14 +227,15 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 		tokens     int
 		finish     string
 	)
-	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 64*1024), 1<<20)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if !strings.HasPrefix(line, "data: ") {
-			continue
+	rd := sse.NewReader(resp.Body)
+	for {
+		payload, err := rd.Next()
+		if err == io.EOF {
+			break
 		}
-		payload := strings.TrimPrefix(line, "data: ")
+		if err != nil {
+			return metrics.Record{}, err
+		}
 		if payload == "[DONE]" {
 			break
 		}
@@ -223,9 +257,6 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 		}
 		tokens++
 	}
-	if err := scanner.Err(); err != nil {
-		return metrics.Record{}, err
-	}
 	if tokens == 0 {
 		return metrics.Record{}, fmt.Errorf("no tokens streamed (finish_reason %q)", finish)
 	}
@@ -235,7 +266,7 @@ func sendOne(ctx context.Context, httpc *http.Client, opts Options, id int64, it
 	end := time.Now()
 	rec := metrics.Record{
 		ID:           id,
-		Arrival:      sent.Sub(sent), // zero-based; latencies are relative
+		Arrival:      sent.Sub(start), // send time relative to the run start
 		TTFT:         firstToken.Sub(sent),
 		E2E:          end.Sub(sent),
 		PromptTokens: item.PromptLen,

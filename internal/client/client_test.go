@@ -46,11 +46,11 @@ func TestEndToEndBenchmark(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	res, err := Run(ctx, Options{
-		BaseURL:            ts.URL,
-		Model:              "Qwen2.5-14B",
-		Items:              items,
-		SpeedUp:            4,
-		UseSyntheticPrompt: true,
+		BaseURL:    ts.URL,
+		Model:      "Qwen2.5-14B",
+		Items:      items,
+		SpeedUp:    4,
+		PromptMode: PromptSynthetic,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -150,9 +150,9 @@ func TestRejectionsCountedSeparately(t *testing.T) {
 		items[i] = workload.Item{PromptLen: 8, OutputLen: 2}
 	}
 	res, err := Run(context.Background(), Options{
-		BaseURL:            ts.URL,
-		Items:              items,
-		UseSyntheticPrompt: true,
+		BaseURL:    ts.URL,
+		Items:      items,
+		PromptMode: PromptSynthetic,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -181,9 +181,9 @@ func TestAbortedStreamIsError(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	res, err := Run(context.Background(), Options{
-		BaseURL:            ts.URL,
-		Items:              []workload.Item{{PromptLen: 8, OutputLen: 10}},
-		UseSyntheticPrompt: true,
+		BaseURL:    ts.URL,
+		Items:      []workload.Item{{PromptLen: 8, OutputLen: 10}},
+		PromptMode: PromptSynthetic,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -233,11 +233,11 @@ func TestMaxInFlightCapsConcurrency(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	res, err := Run(ctx, Options{
-		BaseURL:            ts.URL,
-		Model:              "Qwen2.5-14B",
-		Items:              items,
-		UseSyntheticPrompt: true,
-		MaxInFlight:        2,
+		BaseURL:     ts.URL,
+		Model:       "Qwen2.5-14B",
+		Items:       items,
+		PromptMode:  PromptSynthetic,
+		MaxInFlight: 2,
 	})
 	if err != nil {
 		t.Fatal(err)

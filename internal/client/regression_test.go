@@ -1,0 +1,142 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"gllm/internal/workload"
+)
+
+// oneTokenServer streams a single-token completion for every request and
+// captures each decoded request body for inspection.
+func oneTokenServer(t *testing.T) (*httptest.Server, func() []map[string]interface{}) {
+	t.Helper()
+	var mu sync.Mutex
+	var bodies []map[string]interface{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Error(err)
+		}
+		var body map[string]interface{}
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Errorf("bad request body: %v", err)
+		}
+		mu.Lock()
+		bodies = append(bodies, body)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		_, _ = w.Write([]byte(`data: {"choices":[{"text":"tok ","finish_reason":"length"}]}` + "\n\n"))
+		_, _ = w.Write([]byte("data: [DONE]\n\n"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, func() []map[string]interface{} {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]map[string]interface{}(nil), bodies...)
+	}
+}
+
+// Regression: Record.Arrival was computed as sent.Sub(sent) — identically
+// zero for every request — so arrival and queue-delay columns derived
+// downstream were meaningless. It must record each request's send offset
+// from the run start, preserving the trace's arrival order.
+func TestArrivalRecordsSendOffset(t *testing.T) {
+	ts, _ := oneTokenServer(t)
+	items := []workload.Item{
+		{PromptLen: 8, OutputLen: 1, Arrival: 0},
+		{PromptLen: 8, OutputLen: 1, Arrival: 40 * time.Millisecond},
+		{PromptLen: 8, OutputLen: 1, Arrival: 80 * time.Millisecond},
+	}
+	res, err := Run(context.Background(), Options{
+		BaseURL:    ts.URL,
+		Items:      items,
+		PromptMode: PromptSynthetic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	recs := res.Collector.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Arrival <= recs[i-1].Arrival {
+			t.Fatalf("arrivals not increasing: %v then %v", recs[i-1].Arrival, recs[i].Arrival)
+		}
+		// The send offset tracks the trace's arrival time (scheduling may
+		// add small slack, never subtract it wholesale).
+		if recs[i].Arrival < items[i].Arrival/2 {
+			t.Fatalf("record %d arrival %v, trace said %v", i, recs[i].Arrival, items[i].Arrival)
+		}
+	}
+	if recs[2].Arrival == 0 {
+		t.Fatal("Arrival is still always zero")
+	}
+}
+
+// PromptMode is an explicit three-way contract. The old boolean was OR-ed
+// with a length heuristic, so callers could force synthetic prompts but
+// never force real ones above the threshold — PromptReal must now win
+// regardless of length, and PromptAuto keeps the threshold behavior.
+func TestPromptModeContract(t *testing.T) {
+	longLen := SyntheticThreshold + 64
+	cases := []struct {
+		name          string
+		mode          PromptMode
+		promptLen     int
+		wantSynthetic bool
+	}{
+		{"synthetic forces prompt_len", PromptSynthetic, 10, true},
+		{"real wins below threshold", PromptReal, 10, false},
+		{"real wins above threshold", PromptReal, longLen, false},
+		{"auto short is real", PromptAuto, 10, false},
+		{"auto long is synthetic", PromptAuto, longLen, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, bodies := oneTokenServer(t)
+			res, err := Run(context.Background(), Options{
+				BaseURL:    ts.URL,
+				Items:      []workload.Item{{PromptLen: tc.promptLen, OutputLen: 1}},
+				PromptMode: tc.mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Errors) != 0 {
+				t.Fatalf("errors: %v", res.Errors)
+			}
+			got := bodies()
+			if len(got) != 1 {
+				t.Fatalf("requests = %d, want 1", len(got))
+			}
+			body := got[0]
+			_, hasLen := body["prompt_len"]
+			prompt, _ := body["prompt"].(string)
+			if tc.wantSynthetic {
+				if !hasLen || prompt != "" {
+					t.Fatalf("want synthetic request, got prompt_len=%v prompt=%q", hasLen, prompt)
+				}
+			} else {
+				if hasLen {
+					t.Fatalf("real-prompt request leaked prompt_len=%v", body["prompt_len"])
+				}
+				if prompt == "" {
+					t.Fatal("real-prompt request sent empty prompt")
+				}
+			}
+		})
+	}
+}

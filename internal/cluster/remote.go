@@ -1,0 +1,540 @@
+// Remote-replica transport: a cluster.Engine implemented over HTTP against
+// a live gllm-server process, so one Router can front replicas across
+// machines exactly like in-process ones. The transport adapts the server's
+// wire surface back into the Engine contract:
+//
+//   - SubmitBatchedPrefix POSTs /v1/completions (stream=true) and pumps the
+//     SSE response into a runtime proxy handle, so consumers drain remote
+//     tokens through the same Handle.Next slab path as local ones;
+//   - Pressure is served from a cache maintained by a background prober
+//     polling GET /pressure; after FailureThreshold consecutive failures
+//     the replica reads HealthUnreachable (unroutable) and recovers
+//     automatically on the next successful probe;
+//   - a connection dropped mid-stream terminates the handle with one
+//     synthetic abort event carrying runtime.FinishDisconnected — remote
+//     process death never leaves a consumer hung on Next;
+//   - submit-time failures map onto the router's retry classification:
+//     429 → runtime.ErrQueueFull (backoff, honor pressure-derived hints),
+//     connect errors and 503 → runtime.ErrStopped (re-pick another replica).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gllm/internal/metrics"
+	"gllm/internal/runtime"
+	"gllm/internal/sse"
+)
+
+// HealthUnreachable is the cluster-side health state for a remote replica
+// whose probe endpoint has failed FailureThreshold consecutive times. It is
+// never reported by a runtime itself — unreachability is a property of the
+// path to the replica, observable only from outside.
+const HealthUnreachable = "unreachable"
+
+// RemoteConfig describes one remote replica endpoint.
+type RemoteConfig struct {
+	// BaseURL of the remote gllm-server, e.g. "http://10.0.0.7:8000".
+	BaseURL string
+	// Model name sent in completion requests (default "gllm"; the server
+	// does not validate it).
+	Model string
+	// ConnectTimeout bounds each submit attempt (headers received) and each
+	// health probe (default 2s). Streams, once connected, live arbitrarily
+	// long.
+	ConnectTimeout time.Duration
+	// ProbeInterval is the health-probe polling period (default 250ms).
+	ProbeInterval time.Duration
+	// FailureThreshold is how many consecutive probe/submit failures flip
+	// the replica to HealthUnreachable (default 3). One success recovers it.
+	FailureThreshold int
+	// HTTPClient overrides the default client (tests inject listeners).
+	// It must not set a global Timeout — that would kill long streams.
+	HTTPClient *http.Client
+	// Logger, when non-nil, receives health-transition and stream-failure
+	// logs.
+	Logger *slog.Logger
+}
+
+func (cfg *RemoteConfig) applyDefaults() {
+	if cfg.Model == "" {
+		cfg.Model = "gllm"
+	}
+	if cfg.ConnectTimeout == 0 {
+		cfg.ConnectTimeout = 2 * time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.FailureThreshold == 0 {
+		cfg.FailureThreshold = 3
+	}
+}
+
+// remoteStream is the transport's handle on one in-flight SSE pump: enough
+// to abort it with a definite reason from Cancel, Shutdown, or Close. The
+// first abort reason wins (consumer cancel racing a transport shutdown).
+type remoteStream struct {
+	reason atomic.Pointer[runtime.FinishReason]
+	cancel context.CancelFunc
+}
+
+func (s *remoteStream) abort(reason runtime.FinishReason) {
+	s.reason.CompareAndSwap(nil, &reason)
+	s.cancel()
+}
+
+// Remote is a cluster.Engine speaking HTTP/SSE to a gllm-server process.
+type Remote struct {
+	cfg   RemoteConfig
+	httpc *http.Client
+	base  string
+
+	ids       atomic.Int64
+	start     time.Time
+	collector metrics.Collector
+
+	pmu      sync.Mutex
+	pressure runtime.Pressure // cached by the prober; zero until first success
+	failures int              // consecutive probe/submit failures
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	smu      sync.Mutex
+	streams  map[int64]*remoteStream
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	stopOnce  sync.Once
+}
+
+// NewRemote validates the endpoint, runs one synchronous probe (a live
+// server is routable immediately; a dead one stays unroutable until the
+// prober sees it), and starts the background health prober.
+func NewRemote(cfg RemoteConfig) (*Remote, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: bad remote BaseURL %q", cfg.BaseURL)
+	}
+	cfg.applyDefaults()
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	r := &Remote{
+		cfg:       cfg,
+		httpc:     httpc,
+		base:      u.Scheme + "://" + u.Host,
+		start:     time.Now(),
+		streams:   make(map[int64]*remoteStream),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	r.probe()
+	go r.probeLoop()
+	return r, nil
+}
+
+// BaseURL returns the endpoint this transport fronts.
+func (r *Remote) BaseURL() string { return r.base }
+
+func (r *Remote) probeLoop() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-t.C:
+			r.probe()
+		}
+	}
+}
+
+// probe refreshes the cached Pressure from GET /pressure. One success
+// resets the failure streak (auto-recovery); failures accumulate toward
+// HealthUnreachable in noteFailure.
+func (r *Remote) probe() {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ConnectTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/pressure", nil)
+	if err != nil {
+		r.noteFailure(err)
+		return
+	}
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		r.noteFailure(err)
+		return
+	}
+	defer resp.Body.Close()
+	var p runtime.Pressure
+	if resp.StatusCode != http.StatusOK {
+		r.noteFailure(fmt.Errorf("status %s", resp.Status))
+		return
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		r.noteFailure(err)
+		return
+	}
+	r.pmu.Lock()
+	wasDown := r.failures >= r.cfg.FailureThreshold
+	r.failures = 0
+	r.pressure = p
+	r.pmu.Unlock()
+	if wasDown {
+		r.logEvent(slog.LevelInfo, "remote recovered", "endpoint", r.base, "health", p.Health)
+	}
+}
+
+// noteFailure records one failed probe or submit attempt. At the threshold
+// the cached pressure flips to HealthUnreachable, taking the replica out of
+// rotation until a probe succeeds again.
+func (r *Remote) noteFailure(err error) {
+	r.pmu.Lock()
+	r.failures++
+	tripped := r.failures == r.cfg.FailureThreshold
+	if r.failures >= r.cfg.FailureThreshold {
+		r.pressure = runtime.Pressure{Health: HealthUnreachable}
+	}
+	r.pmu.Unlock()
+	if tripped {
+		r.logEvent(slog.LevelWarn, "remote unreachable",
+			"endpoint", r.base, "failures", r.cfg.FailureThreshold, "err", err)
+	}
+}
+
+// Pressure returns the prober's cached view. Before the first successful
+// probe the zero value (empty Health) keeps the replica unroutable.
+func (r *Remote) Pressure() runtime.Pressure {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.pressure
+}
+
+// remoteRequest mirrors the server's accepted completion-request subset.
+type remoteRequest struct {
+	Model           string `json:"model"`
+	Prompt          string `json:"prompt"`
+	PromptLen       int    `json:"prompt_len,omitempty"`
+	MaxTokens       int    `json:"max_tokens"`
+	Stream          bool   `json:"stream"`
+	PrefixGroup     int64  `json:"prefix_group,omitempty"`
+	SharedPrefixLen int    `json:"shared_prefix_len,omitempty"`
+}
+
+// remoteChunk is the subset of a streamed completion chunk the pump
+// inspects (same shape the benchmark client parses).
+type remoteChunk struct {
+	Choices []struct {
+		Text         string `json:"text"`
+		FinishReason string `json:"finish_reason"`
+	} `json:"choices"`
+}
+
+// SubmitBatchedPrefix opens one streaming completion against the remote
+// server and returns a proxy handle fed by a pump goroutine parsing the
+// SSE response. Submit-time failures are classified for the router's retry
+// loop: 429 wraps runtime.ErrQueueFull, connect failures and 503 wrap
+// runtime.ErrStopped. ctx governs the stream's lifetime exactly like a
+// local submission: cancelling it aborts the remote generation.
+func (r *Remote) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*runtime.Handle, error) {
+	if r.draining.Load() {
+		return nil, fmt.Errorf("cluster: remote %s draining: %w", r.base, runtime.ErrStopped)
+	}
+	body, err := json.Marshal(remoteRequest{
+		Model:           r.cfg.Model,
+		PromptLen:       promptLen,
+		MaxTokens:       maxTokens,
+		Stream:          true,
+		PrefixGroup:     group,
+		SharedPrefixLen: sharedLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	streamCtx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodPost, r.base+"/v1/completions", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	// Per-attempt connect timeout: the response headers must arrive within
+	// ConnectTimeout, but the stream itself may then live arbitrarily long
+	// (a client-level Timeout would kill long generations).
+	connTimer := time.AfterFunc(r.cfg.ConnectTimeout, cancel)
+	resp, err := r.httpc.Do(req)
+	connTimer.Stop()
+	if err != nil {
+		cancel()
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // caller cancelled, not a replica fault
+		}
+		r.noteFailure(err)
+		return nil, fmt.Errorf("cluster: remote %s connect: %v: %w", r.base, err, runtime.ErrStopped)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		drainBody(resp)
+		cancel()
+		return nil, fmt.Errorf("cluster: remote %s rejected: %w", r.base, runtime.ErrQueueFull)
+	case http.StatusServiceUnavailable:
+		drainBody(resp)
+		cancel()
+		return nil, fmt.Errorf("cluster: remote %s unavailable: %w", r.base, runtime.ErrStopped)
+	default:
+		drainBody(resp)
+		cancel()
+		return nil, fmt.Errorf("cluster: remote %s: unexpected status %s", r.base, resp.Status)
+	}
+
+	id := r.ids.Add(1)
+	st := &remoteStream{cancel: cancel}
+	// Handle.Cancel on the proxy handle delegates here: store the reason,
+	// cancel the stream, and let the pump terminate the handle. The pump is
+	// the only goroutine feeding the handle, so delivery stays single-writer.
+	h, feeder := runtime.NewProxyHandle(id, st.abort)
+
+	r.smu.Lock()
+	r.streams[id] = st
+	r.smu.Unlock()
+	r.inflight.Add(1)
+	go r.pump(streamCtx, ctx, id, st, feeder, resp.Body, promptLen)
+	return h, nil
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}
+
+// pump parses one SSE response into the proxy handle until the server's
+// [DONE], a terminal chunk, an abort, or a transport failure. Every exit
+// path closes the handle with a definite reason — a dropped connection
+// becomes one synthetic FinishDisconnected event, never a hung Next.
+func (r *Remote) pump(streamCtx, parent context.Context, id int64, st *remoteStream,
+	feeder *runtime.ProxyFeeder, body io.ReadCloser, promptLen int) {
+	defer r.inflight.Done()
+	defer body.Close()
+
+	var (
+		idx        int // next output index to assign
+		tokens     int // real (non-empty Text) tokens delivered
+		firstTok   time.Time
+		terminal   runtime.FinishReason // reason from a terminal chunk, if seen
+		arrival    = time.Since(r.start)
+		submitTime = time.Now()
+		readErr    error
+	)
+	rd := sse.NewReader(body)
+	for terminal == "" {
+		payload, err := rd.Next()
+		if err != nil {
+			readErr = err
+			break
+		}
+		if payload == "[DONE]" {
+			// [DONE] without a terminal chunk: the stream is incomplete on
+			// the wire; fall through to the abort classification below.
+			readErr = io.ErrUnexpectedEOF
+			break
+		}
+		var chunk remoteChunk
+		if err := json.Unmarshal([]byte(payload), &chunk); err != nil {
+			readErr = fmt.Errorf("bad SSE chunk: %w", err)
+			break
+		}
+		if len(chunk.Choices) == 0 {
+			continue
+		}
+		c := chunk.Choices[0]
+		ev := runtime.TokenEvent{ReqID: id, Index: idx, Text: c.Text}
+		if c.FinishReason != "" {
+			terminal = runtime.FinishReason(c.FinishReason)
+			ev.Finished = true
+			ev.Reason = terminal
+		}
+		idx++
+		if c.Text != "" {
+			if tokens == 0 {
+				firstTok = time.Now()
+			}
+			tokens++
+		}
+		feeder.Deliver(ev)
+	}
+
+	reason := terminal
+	if reason == "" {
+		// No terminal chunk: classify the abort. A reason stored by
+		// Cancel/Shutdown wins; then the caller's context; anything else is
+		// the transport dying under us.
+		switch {
+		case st.reason.Load() != nil:
+			reason = *st.reason.Load()
+		case parent.Err() != nil:
+			if errors.Is(parent.Err(), context.DeadlineExceeded) {
+				reason = runtime.FinishTimeout
+			} else {
+				reason = runtime.FinishCancelled
+			}
+		default:
+			reason = runtime.FinishDisconnected
+			r.noteFailure(readErr)
+			r.logEvent(slog.LevelWarn, "remote stream dropped",
+				"endpoint", r.base, "req", id, "tokens", tokens, "err", readErr)
+		}
+	}
+
+	// Record before closing the handle: a consumer that sees the stream end
+	// must already find this stream in Metrics() (the audit reads records
+	// right after the last stream closes).
+	end := time.Now()
+	rec := metrics.Record{
+		ID:           id,
+		Arrival:      arrival,
+		E2E:          end.Sub(submitTime),
+		PromptTokens: promptLen,
+		OutputTokens: tokens,
+		FinishReason: string(reason),
+	}
+	if tokens > 0 {
+		rec.TTFT = firstTok.Sub(submitTime)
+		if tokens > 1 {
+			rec.TPOT = end.Sub(firstTok) / time.Duration(tokens-1)
+		}
+	}
+	r.collector.Add(rec)
+
+	if terminal != "" {
+		feeder.Close(terminal)
+	} else {
+		feeder.Abort(id, idx, reason)
+	}
+	st.cancel()
+
+	r.smu.Lock()
+	delete(r.streams, id)
+	r.smu.Unlock()
+}
+
+// abortAll cancels every in-flight stream with the given reason (their
+// pumps then terminate the handles).
+func (r *Remote) abortAll(reason runtime.FinishReason) {
+	r.smu.Lock()
+	streams := make([]*remoteStream, 0, len(r.streams))
+	for _, st := range r.streams {
+		streams = append(streams, st)
+	}
+	r.smu.Unlock()
+	for _, st := range streams {
+		st.abort(reason)
+	}
+}
+
+func (r *Remote) stopProber() {
+	r.stopOnce.Do(func() { close(r.probeStop) })
+	<-r.probeDone
+}
+
+// Shutdown drains the transport: new submissions are refused (ErrStopped —
+// the router re-picks), in-flight streams keep delivering until they
+// complete or ctx expires (then they abort with FinishShutdown, matching
+// runtime.Shutdown semantics). The remote process itself keeps running —
+// draining a transport detaches it, it does not stop the server.
+func (r *Remote) Shutdown(ctx context.Context) error {
+	r.draining.Store(true)
+	done := make(chan struct{})
+	go func() { r.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		r.abortAll(runtime.FinishShutdown)
+		<-done
+	}
+	r.stopProber()
+	return nil
+}
+
+// Close detaches immediately: in-flight streams abort with FinishShutdown.
+func (r *Remote) Close() error {
+	r.draining.Store(true)
+	r.abortAll(runtime.FinishShutdown)
+	r.inflight.Wait()
+	r.stopProber()
+	return nil
+}
+
+// Stats fetches the remote server's full snapshot (GET /stats). An
+// unreachable server yields a zeroed snapshot with HealthUnreachable so
+// aggregation and admin surfaces degrade gracefully instead of erroring.
+func (r *Remote) Stats() runtime.Snapshot {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ConnectTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/stats", nil)
+	if err != nil {
+		return runtime.Snapshot{Health: HealthUnreachable}
+	}
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		return runtime.Snapshot{Health: HealthUnreachable}
+	}
+	defer resp.Body.Close()
+	var st runtime.Snapshot
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return runtime.Snapshot{Health: HealthUnreachable}
+	}
+	return st
+}
+
+// MatchPrefix asks the remote server how many leading tokens of the group
+// are resident in its KV cache (GET /matchprefix) — the prefix-affinity
+// routing signal. Unreachable or erroring replicas report 0 (no affinity).
+func (r *Remote) MatchPrefix(group int64, maxTokens int) int {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ConnectTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s/matchprefix?group=%d&max_tokens=%d", r.base, group, maxTokens)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Match int `json:"match"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return 0
+	}
+	return out.Match
+}
+
+// Metrics returns the transport-side collector: one record per stream this
+// transport carried, with client-observed latencies and delivered token
+// counts. Router.Records and the cluster audit consume it exactly like a
+// local replica's collector.
+func (r *Remote) Metrics() *metrics.Collector { return &r.collector }
+
+func (r *Remote) logEvent(level slog.Level, msg string, args ...any) {
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Log(context.Background(), level, msg, args...)
+	}
+}

@@ -170,6 +170,10 @@ const (
 	FinishTimeout FinishReason = "timeout"
 	// FinishShutdown: the runtime drained or closed before completion.
 	FinishShutdown FinishReason = "shutdown"
+	// FinishDisconnected: the transport carrying a remote replica's stream
+	// dropped mid-generation (connection reset, remote process death). Only
+	// proxy handles (cluster remote transport) terminate with it.
+	FinishDisconnected FinishReason = "disconnected"
 )
 
 // Health states reported by Snapshot.Health.
@@ -218,8 +222,16 @@ func (h *Handle) Done() <-chan struct{} { return h.sub.done }
 
 // Cancel requests a cooperative abort: the driver removes the request at
 // the next micro-batch boundary and releases its KV. Safe to call from any
-// goroutine, idempotent, and a no-op once the request is terminal.
-func (h *Handle) Cancel() { h.rt.requestCancel(h.sub, FinishCancelled) }
+// goroutine, idempotent, and a no-op once the request is terminal. On a
+// proxy handle (no local driver) the abort is delegated to the feeder's
+// onCancel hook instead.
+func (h *Handle) Cancel() {
+	if h.rt == nil {
+		h.sub.proxyCancel(FinishCancelled)
+		return
+	}
+	h.rt.requestCancel(h.sub, FinishCancelled)
+}
 
 // FinishReason reports how the request terminated. It returns "" until the
 // request is terminal (Events closed / Done fired).
@@ -450,6 +462,9 @@ type submission struct {
 	// abortReason is the externally requested abort reason (CAS winner
 	// sends the submission to cancelCh exactly once).
 	abortReason atomic.Pointer[FinishReason]
+	// onCancel, set only on proxy handles (NewProxyHandle), receives the
+	// abort reason in place of the driver's cancelCh path.
+	onCancel func(FinishReason)
 
 	// Batched (slab) delivery, used instead of the events channel when
 	// batched is set: the driver appends to pending under dmu — a short
@@ -698,6 +713,17 @@ func (rt *Runtime) submitMode(ctx context.Context, promptLen, maxTokens int, gro
 		}()
 	}
 	return &Handle{ID: id, Events: sub.events, rt: rt, sub: sub}, nil
+}
+
+// proxyCancel records the abort reason (first writer wins) and invokes the
+// proxy handle's onCancel hook exactly once. Safe from any goroutine.
+func (sub *submission) proxyCancel(reason FinishReason) {
+	if !sub.abortReason.CompareAndSwap(nil, &reason) {
+		return
+	}
+	if sub.onCancel != nil {
+		sub.onCancel(reason)
+	}
 }
 
 // requestCancel records the abort reason (first writer wins) and notifies

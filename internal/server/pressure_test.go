@@ -1,0 +1,131 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gllm/internal/runtime"
+)
+
+// Regression: the Retry-After header was rendered as int(hint/time.Second),
+// truncating every sub-second hint to "0" — which retrying clients treat as
+// no hint at all. It must round up with a one-second floor.
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		hint time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{30 * time.Second, 30},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.hint); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.hint, got, tc.want)
+		}
+	}
+}
+
+// pressureFake extends the scriptable backend with the optional routing
+// surfaces (PressureBackend, PrefixMatchBackend).
+type pressureFake struct {
+	fakeBackend
+	p     runtime.Pressure
+	match map[int64]int
+}
+
+func (b *pressureFake) Pressure() runtime.Pressure { return b.p }
+func (b *pressureFake) MatchPrefix(group int64, maxTokens int) int {
+	m := b.match[group]
+	if m > maxTokens {
+		m = maxTokens
+	}
+	return m
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// GET /pressure serves the backend's own Pressure when it implements the
+// optional interface, and a Stats-derived view otherwise — so every
+// backend is probeable by the cluster's remote transport.
+func TestPressureEndpoint(t *testing.T) {
+	t.Run("native", func(t *testing.T) {
+		be := &pressureFake{
+			p: runtime.Pressure{KVFree: 0.25, Resident: 7, QueueLen: 3, Health: runtime.HealthOK},
+		}
+		ts := httptest.NewServer(NewBackend(be, "m"))
+		defer ts.Close()
+		var got runtime.Pressure
+		getJSON(t, ts.URL+"/pressure", &got)
+		if got != be.p {
+			t.Fatalf("pressure = %+v, want %+v", got, be.p)
+		}
+	})
+	t.Run("fallback from stats", func(t *testing.T) {
+		be := &fakeBackend{
+			snapshot: runtime.Snapshot{KVFreeRate: 0.5, Resident: 9, Health: runtime.HealthDraining},
+		}
+		ts := httptest.NewServer(NewBackend(be, "m"))
+		defer ts.Close()
+		var got runtime.Pressure
+		getJSON(t, ts.URL+"/pressure", &got)
+		want := runtime.Pressure{KVFree: 0.5, Resident: 9, Health: runtime.HealthDraining}
+		if got != want {
+			t.Fatalf("pressure = %+v, want %+v", got, want)
+		}
+	})
+}
+
+// GET /matchprefix exposes prefix residency for affinity routing: clamped
+// by max_tokens, 0 for backends without the surface, 400 on bad params.
+func TestMatchPrefixEndpoint(t *testing.T) {
+	be := &pressureFake{match: map[int64]int{42: 128}}
+	ts := httptest.NewServer(NewBackend(be, "m"))
+	defer ts.Close()
+
+	var got struct {
+		Match int `json:"match"`
+	}
+	getJSON(t, ts.URL+"/matchprefix?group=42&max_tokens=64", &got)
+	if got.Match != 64 {
+		t.Fatalf("match = %d, want 64 (clamped)", got.Match)
+	}
+	getJSON(t, ts.URL+"/matchprefix?group=7&max_tokens=64", &got)
+	if got.Match != 0 {
+		t.Fatalf("unknown group match = %d, want 0", got.Match)
+	}
+
+	plain := httptest.NewServer(NewBackend(&fakeBackend{}, "m"))
+	defer plain.Close()
+	getJSON(t, plain.URL+"/matchprefix?group=42&max_tokens=64", &got)
+	if got.Match != 0 {
+		t.Fatalf("backend without MatchPrefix reported %d", got.Match)
+	}
+
+	for _, q := range []string{"", "group=x&max_tokens=1", "group=1", "group=1&max_tokens=x"} {
+		if resp := getJSON(t, ts.URL+"/matchprefix?"+q, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q: status %s, want 400", q, resp.Status)
+		}
+	}
+}

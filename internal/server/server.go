@@ -44,14 +44,31 @@ type Backend interface {
 	Records() []metrics.Record
 }
 
+// PressureBackend is the optional Backend extension behind GET /pressure:
+// the allocation-free load view a cluster router polls per routing
+// decision (and the remote transport's health probe target). Backends
+// without it get a view derived from Stats.
+type PressureBackend interface {
+	Pressure() runtime.Pressure
+}
+
+// PrefixMatchBackend is the optional Backend extension behind
+// GET /matchprefix: how many leading tokens of a prefix group are resident
+// in the backend's KV cache. Backends without it report 0 (no affinity).
+type PrefixMatchBackend interface {
+	MatchPrefix(group int64, maxTokens int) int
+}
+
 // runtimeBackend adapts a single *runtime.Runtime to the Backend surface.
 type runtimeBackend struct{ rt *runtime.Runtime }
 
 func (b runtimeBackend) Submit(ctx context.Context, req SubmitRequest) (*runtime.Handle, error) {
 	return b.rt.SubmitBatchedPrefix(ctx, req.PromptLen, req.MaxTokens, req.PrefixGroup, req.SharedPrefixLen)
 }
-func (b runtimeBackend) Stats() runtime.Snapshot   { return b.rt.Stats() }
-func (b runtimeBackend) Records() []metrics.Record { return b.rt.Metrics().Records() }
+func (b runtimeBackend) Stats() runtime.Snapshot              { return b.rt.Stats() }
+func (b runtimeBackend) Records() []metrics.Record            { return b.rt.Metrics().Records() }
+func (b runtimeBackend) Pressure() runtime.Pressure           { return b.rt.Pressure() }
+func (b runtimeBackend) MatchPrefix(group int64, max int) int { return b.rt.MatchPrefix(group, max) }
 
 // Server adapts a serving backend to HTTP.
 type Server struct {
@@ -83,6 +100,8 @@ func NewBackend(be Backend, modelName string) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/pressure", s.handlePressure)
+	s.mux.HandleFunc("/matchprefix", s.handleMatchPrefix)
 	return s
 }
 
@@ -187,7 +206,7 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 			// the backlog has had a chance to drain. The hint scales with
 			// KV pressure and residency instead of a hardcoded 1 s.
 			hint := s.be.Stats().RetryAfterHint()
-			w.Header().Set("Retry-After", strconv.Itoa(int(hint/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(hint)))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, runtime.ErrStopped):
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
@@ -410,6 +429,57 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.be.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
+}
+
+// retryAfterSeconds renders a backoff hint as a Retry-After header value:
+// rounded UP to whole seconds with a 1 s floor. Truncation here used to
+// turn any sub-second hint into "Retry-After: 0", which retrying clients
+// (including the cluster router's backoff) treat as no hint at all.
+func retryAfterSeconds(hint time.Duration) int {
+	if hint <= time.Second {
+		return 1
+	}
+	return int((hint + time.Second - 1) / time.Second)
+}
+
+// handlePressure serves the lightweight routing view a cluster router
+// polls per candidate replica (and the remote transport's health probe).
+// Unlike /healthz it carries the load signals; unlike /stats it is cheap
+// on the backend (no per-stage slices).
+func (s *Server) handlePressure(w http.ResponseWriter, _ *http.Request) {
+	var p runtime.Pressure
+	if pb, ok := s.be.(PressureBackend); ok {
+		p = pb.Pressure()
+	} else {
+		st := s.be.Stats()
+		p = runtime.Pressure{KVFree: st.KVFreeRate, Resident: st.Resident, Health: st.Health}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p)
+}
+
+// handleMatchPrefix answers how many leading tokens of ?group=G (up to
+// ?max_tokens=N) are resident in the backend's KV cache — the signal a
+// prefix-affinity router uses to re-place a conversation whose home
+// replica evicted its context.
+func (s *Server) handleMatchPrefix(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	group, err := strconv.ParseInt(q.Get("group"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad group: %v", err))
+		return
+	}
+	max, err := strconv.Atoi(q.Get("max_tokens"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad max_tokens: %v", err))
+		return
+	}
+	match := 0
+	if pb, ok := s.be.(PrefixMatchBackend); ok {
+		match = pb.MatchPrefix(group, max)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{"match": match})
 }
 
 // handleMetrics serves Prometheus text exposition (format 0.0.4). Counters
