@@ -1,13 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke remote-smoke fmt-check bench-steady bench-cluster
+.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke remote-smoke tknp-smoke fmt-check bench-steady bench-cluster bench-tknp
 
 # check runs everything a PR must pass: tier-1 build+tests, the race
 # tier (see ROADMAP.md), gofmt enforcement, a short fuzz smoke of both
 # fuzz targets, the trace-out round-trip smoke, and both cluster smokes
 # (in-process and remote-transport).
-check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke remote-smoke
+check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke remote-smoke tknp-smoke
 
 tier1:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ tier1:
 
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/... ./internal/metrics/... ./internal/obs/... ./internal/cluster/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/sched/... ./internal/runtime/... ./internal/server/... ./internal/metrics/... ./internal/obs/... ./internal/cluster/... ./internal/engine/...
 
 # fmt-check fails when any file needs gofmt.
 fmt-check:
@@ -63,6 +63,17 @@ remote-smoke:
 # Takes ~15 minutes of wall clock.
 bench-cluster:
 	$(GO) run ./cmd/gllm-experiments -run cluster -scale paper -out results/
+
+# tknp-smoke runs the quick token-parallel regime sweep and fails unless
+# TKNP wins the largest batch x longest context cell on decode throughput.
+tknp-smoke:
+	$(GO) run ./cmd/gllm-experiments -selfcheck
+
+# bench-tknp regenerates results/BENCH_tknp_regimes.json: TP-16, PP-16,
+# disaggregated 8P8D and TKNP (root TP 8) over the full paper-scale batch x
+# context grid on the 16 x A100-40G NVLink extension testbed.
+bench-tknp:
+	$(GO) run ./cmd/gllm-experiments -run tknp -scale paper -out results/
 
 # trace-smoke round-trips a short simulation's -trace-out file through the
 # obs Chrome-trace decoder (gllm-tracecheck exits nonzero on a bad trace).

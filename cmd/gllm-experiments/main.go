@@ -5,7 +5,9 @@
 //	gllm-experiments -run fig10,fig15 -scale paper -out results/
 //
 // Experiments: fig1, fig4, fig10, fig11, fig12, fig13, fig14, fig15,
-// fig16, table1, evolution, disagg (or "all").
+// fig16, table1, evolution, disagg, tknp (or "all"). The tknp sweep
+// writes results/BENCH_tknp_regimes.json when -out is set (regenerate at
+// paper scale with: make bench-tknp).
 //
 // The "cluster" experiment (routing-policy comparison over live replicas,
 // results/BENCH_cluster_routing.json) replays arrivals in wall-clock time,
@@ -34,12 +36,51 @@ func main() {
 		out      = flag.String("out", "", "directory for CSV/series output (optional)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker goroutines per experiment grid (1 = sequential; results are identical at any setting)")
+		selfcheck = flag.Bool("selfcheck", false,
+			"run the quick TKNP regime sweep and fail unless token parallelism wins the largest batch x longest context cell")
 	)
 	flag.Parse()
+	if *selfcheck {
+		if err := tknpSelfCheck(*parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "gllm-experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := mainErr(*run, *scale, *out, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// tknpSelfCheck is the smoke for the token-parallel stack: the quick sweep
+// must reproduce the regime the engine exists for — a nonzero decode-
+// throughput win over both TP and PP in the largest batch x longest
+// context cell.
+func tknpSelfCheck(parallel int) error {
+	sc := experiments.QuickScale()
+	sc.Workers = parallel
+	res, err := experiments.TknpRegimesQuick(sc)
+	if err != nil {
+		return fmt.Errorf("selfcheck: %w", err)
+	}
+	batch, ctx := res.LargestCell()
+	tknp, ok := res.Row("tknp", batch, ctx)
+	if !ok || tknp.DecodeTput <= 0 {
+		return fmt.Errorf("selfcheck: no live tknp cell at B=%d ctx=%d", batch, ctx)
+	}
+	for _, rival := range []string{"tp", "pp"} {
+		row, ok := res.Row(rival, batch, ctx)
+		if !ok {
+			return fmt.Errorf("selfcheck: missing %s cell at B=%d ctx=%d", rival, batch, ctx)
+		}
+		if tknp.DecodeTput <= row.DecodeTput {
+			return fmt.Errorf("selfcheck: tknp decode %.1f tok/s does not beat %s %.1f tok/s at B=%d ctx=%d",
+				tknp.DecodeTput, rival, row.DecodeTput, batch, ctx)
+		}
+	}
+	fmt.Printf("selfcheck ok: B=%d ctx=%d tknp %.1f tok/s beats tp/pp\n", batch, ctx, tknp.DecodeTput)
+	return nil
 }
 
 func mainErr(run, scaleName, out string, parallel int) error {
@@ -238,6 +279,27 @@ func mainErr(run, scaleName, out string, parallel int) error {
 			fmt.Print(res.String())
 			return nil
 		}},
+		{"tknp", func() error {
+			run := experiments.TknpRegimesQuick
+			if scaleName == "paper" {
+				run = experiments.TknpRegimesPaper
+			}
+			res, err := run(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			if out != "" {
+				blob, err := tknpArtifact(res, scaleName)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(filepath.Join(out, "BENCH_tknp_regimes.json"), blob, 0o644); err != nil {
+					return err
+				}
+			}
+			return writeCSV("tknp_regimes.csv", res.CSV())
+		}},
 		{"table1", func() error {
 			res, err := experiments.Table1Equivalence(sc.Seed, 32, ".")
 			if err != nil {
@@ -282,6 +344,36 @@ func mainErr(run, scaleName, out string, parallel int) error {
 		return fmt.Errorf("no experiment matched %q", run)
 	}
 	return nil
+}
+
+// tknpArtifact wraps the TKNP regime sweep in the repo's BENCH_*.json
+// shape: what ran, where, when, and how to regenerate it.
+func tknpArtifact(res *experiments.TknpResult, scaleName string) ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Benchmark   string                  `json:"benchmark"`
+		Description string                  `json:"description"`
+		Scale       string                  `json:"scale"`
+		Recorded    string                  `json:"recorded"`
+		Host        map[string]any          `json:"host"`
+		Result      *experiments.TknpResult `json:"result"`
+	}{
+		Benchmark: "TknpRegimes",
+		Description: "Token-parallel regime sweep: TP-16, PP-16, disaggregated 8P8D and " +
+			"TKNP (root TP 8) serve Qwen2.5-14B closed batches over a batch x context grid " +
+			"on one 16 x A100-40G NVLink node. decode_tok_s is batch/TPOT — the steady-state " +
+			"decode rate. TKNP must beat TP and PP in the largest batch x longest context " +
+			"cell (regression-tested); TP over-shards the model's 8 KV heads past degree 8 " +
+			"and pays 2(n-1) ring-step latencies per layer, PP streams all weights serially " +
+			"per output token. Regenerate with: make bench-tknp",
+		Scale:    scaleName,
+		Recorded: time.Now().Format("2006-01-02"),
+		Host: map[string]any{
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"go":         runtime.Version(),
+		},
+		Result: res,
+	}, "", "  ")
 }
 
 // clusterArtifact wraps the routing comparison in the repo's BENCH_*.json

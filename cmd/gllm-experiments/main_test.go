@@ -17,6 +17,24 @@ func TestMainErrQuickSubset(t *testing.T) {
 	}
 }
 
+func TestMainErrTknpArtifact(t *testing.T) {
+	dir := t.TempDir()
+	if err := mainErr("tknp", "quick", dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BENCH_tknp_regimes.json", "tknp_regimes.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("tknp output missing: %v", err)
+		}
+	}
+}
+
+func TestTknpSelfCheck(t *testing.T) {
+	if err := tknpSelfCheck(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMainErrErrors(t *testing.T) {
 	if err := mainErr("fig99", "quick", "", 0); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -34,7 +34,8 @@ func main() {
 		gpuName     = flag.String("gpu", "L20-48GB", "GPU: L20-48GB, A100-40GB, A800-80GB")
 		nodes       = flag.Int("nodes", 1, "number of nodes (cross-node uses the 73.28 Gbps simulated net)")
 		gpusPerNode = flag.Int("gpus-per-node", 4, "GPUs per node (PCIe inside a node)")
-		parallelism = flag.String("parallelism", "pp", "pp (pipeline) or tp (tensor)")
+		parallelism = flag.String("parallelism", "pp", "pp (pipeline), tp (tensor) or tknp (token parallel; tokenpar is an alias)")
+		rootTP      = flag.Int("root-tp", 1, "token-parallel root group width: the first N ranks hold the weights (tknp only)")
 		schedName   = flag.String("sched", "gllm", "scheduler: gllm, sarathi, vllm-ve, td-pipe, orca, batch-level, gllm-no-wt, gllm-no-ut, gllm-ck")
 		runtimeName = flag.String("runtime", "", "runtime model: gllm, vllm, sglang (default: matches scheduler)")
 		datasetName = flag.String("dataset", "sharegpt", "workload: sharegpt or azure")
@@ -69,7 +70,7 @@ func main() {
 		checkInv:    *checkInv,
 		traceOut:    *traceOut,
 	}
-	if err := run(*modelName, *gpuName, *nodes, *gpusPerNode, *parallelism, *schedName,
+	if err := run(*modelName, *gpuName, *nodes, *gpusPerNode, *parallelism, *rootTP, *schedName,
 		*runtimeName, *datasetName, *tracePath, *rate, *window, *seed, *memUtil, *budget,
 		core.Params{IterT: *iterT, MaxP: *maxP, MinP: *minP, KVThresh: *kvThresh},
 		*chromeTrace, *itersCSV, *utilCSV, *sloTTFT, *sloTPOT, opts); err != nil {
@@ -88,12 +89,15 @@ type simOptions struct {
 	traceOut    string
 }
 
-func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedName,
-	runtimeName, datasetName, tracePath string, rate float64, window time.Duration,
+func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism string, rootTP int,
+	schedName, runtimeName, datasetName, tracePath string, rate float64, window time.Duration,
 	seed uint64, memUtil float64, budget int, params core.Params,
 	chromeTrace, itersCSV, utilCSV string, sloTTFT, sloTPOT time.Duration,
 	opts simOptions) error {
 
+	if parallelism == "tokenpar" {
+		parallelism = "tknp"
+	}
 	m, err := model.ByName(modelName)
 	if err != nil {
 		return err
@@ -186,6 +190,7 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 		if parallelism == "tp" {
 			stages = 1 // the TP engine is one fused device
 		}
+		// tknp keeps one lane per rank: roots and KV peers diverge.
 		rec = obs.NewRecorder(stages, 0)
 		cfg.Spans = rec
 	}
@@ -196,6 +201,8 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 		res, err = engine.RunPipeline(cfg, items)
 	case "tp":
 		res, err = engine.RunTensor(cfg, items)
+	case "tknp":
+		res, err = engine.RunTokenParallel(engine.TokenParallelConfig{Config: cfg, RootTP: rootTP}, items)
 	default:
 		return fmt.Errorf("unknown parallelism %q", parallelism)
 	}
@@ -207,6 +214,10 @@ func run(modelName, gpuName string, nodes, gpusPerNode int, parallelism, schedNa
 		m.Name, topo.Name, g.Name, parallelism, res.SchedulerName, res.RuntimeName)
 	fmt.Printf("KV capacity: %d tokens; injections: %d; preemptions: %d; bubble fraction: %.3f\n",
 		res.KVCapacityTokens, res.Injections, res.Preemptions, res.BubbleFraction)
+	if parallelism == "tknp" {
+		fmt.Printf("token-parallel: root TP %d, scatter/gather volume %.2f GB\n",
+			rootTP, float64(res.TknpCommBytes)/1e9)
+	}
 	fmt.Print(res.Report.String())
 	if col != nil {
 		// A violation aborts the run through the engine's error path, so

@@ -19,7 +19,7 @@ func TestRunSmoke(t *testing.T) {
 	chrome := filepath.Join(dir, "trace.json")
 	iters := filepath.Join(dir, "iters.csv")
 	util := filepath.Join(dir, "util.csv")
-	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "sharegpt", "",
 		2, 10*time.Second, 7, 0.9, 2048, params(),
 		chrome, iters, util, 2*time.Second, 100*time.Millisecond, simOptions{})
 	if err != nil {
@@ -39,7 +39,7 @@ func TestRunSmoke(t *testing.T) {
 func TestRunTraceOut(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "spans.json")
-	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "sharegpt", "",
 		2, 5*time.Second, 7, 0.9, 2048, params(),
 		"", "", "", 0, 0, simOptions{traceOut: out})
 	if err != nil {
@@ -63,15 +63,43 @@ func TestRunTraceOut(t *testing.T) {
 }
 
 func TestRunTensorParallel(t *testing.T) {
-	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "tp", "sarathi", "sglang", "sharegpt", "",
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "tp", 1, "sarathi", "sglang", "sharegpt", "",
 		1, 5*time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunTokenParallel(t *testing.T) {
+	// "tokenpar" aliases "tknp"; a span trace gets one lane per rank.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "spans.json")
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "tokenpar", 2, "sarathi", "gllm", "sharegpt", "",
+		1, 5*time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{traceOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dec, err := obs.ReadChrome(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stages != 4 {
+		t.Fatalf("decoded stages = %d, want one lane per rank", dec.Stages)
+	}
+	// Root TP wider than the deployment must be rejected.
+	if err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "tknp", 5, "sarathi", "gllm", "sharegpt", "",
+		1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{}); err == nil {
+		t.Fatal("root TP 5 on 4 GPUs accepted")
+	}
+}
+
 func TestRunFeatureToggles(t *testing.T) {
-	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+	err := run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "sharegpt", "",
 		1, 8*time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0,
 		simOptions{enableCPP: true, prefixCache: true, costAware: true, convs: true})
 	if err != nil {
@@ -91,7 +119,7 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	err = run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "", tracePath,
+	err = run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "", tracePath,
 		0, 0, 0, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -104,35 +132,35 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"bad model", func() error {
-			return run("GPT-9", "L20-48GB", 1, 4, "pp", "gllm", "", "sharegpt", "",
+			return run("GPT-9", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "sharegpt", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 		{"bad gpu", func() error {
-			return run("Qwen2.5-14B", "H900", 1, 4, "pp", "gllm", "", "sharegpt", "",
+			return run("Qwen2.5-14B", "H900", 1, 4, "pp", 1, "gllm", "", "sharegpt", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 		{"bad sched", func() error {
-			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "fcfs", "", "sharegpt", "",
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "fcfs", "", "sharegpt", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 		{"bad runtime", func() error {
-			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "rust", "sharegpt", "",
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "rust", "sharegpt", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 		{"bad dataset", func() error {
-			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "pile", "",
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "pile", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 		{"bad parallelism", func() error {
-			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "dp", "gllm", "", "sharegpt", "",
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "dp", 1, "gllm", "", "sharegpt", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 		{"cost-aware on sarathi", func() error {
-			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "sarathi", "", "sharegpt", "",
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "sarathi", "", "sharegpt", "",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{costAware: true})
 		}},
 		{"missing trace file", func() error {
-			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", "gllm", "", "", "/nonexistent.json",
+			return run("Qwen2.5-14B", "L20-48GB", 1, 4, "pp", 1, "gllm", "", "", "/nonexistent.json",
 				1, time.Second, 7, 0.9, 2048, params(), "", "", "", 0, 0, simOptions{})
 		}},
 	}

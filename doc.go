@@ -12,7 +12,8 @@
 //
 //	internal/core        Token Throttling (the paper's eqs. 1-4)
 //	internal/sched       iteration-level schedulers (Sarathi baseline, gLLM)
-//	internal/engine      virtual-time pipeline- and tensor-parallel engines
+//	internal/engine      virtual-time engines: pipeline-, tensor-, token-
+//	                     parallel (TKNP) and disaggregated prefill/decode
 //	internal/runtime     concurrent async runtime (driver + stage workers)
 //	internal/server      OpenAI-compatible REST frontend
 //	internal/client      open-loop benchmark client

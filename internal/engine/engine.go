@@ -1,10 +1,14 @@
 // Package engine provides the virtual-time serving engines that the
 // experiments run on: a pipeline-parallel engine (micro-batches flowing
 // through per-GPU stages, where unbalanced batches turn into pipeline
-// bubbles) and a tensor-parallel engine (whole-model iterations paying
-// per-layer all-reduces). Both engines share the scheduler framework, the
-// paged KV cache, the GPU roofline cost model and the network link model,
-// and differ only in how a scheduled micro-batch maps onto hardware time.
+// bubbles), a tensor-parallel engine (whole-model iterations paying
+// per-layer all-reduces), a disaggregated engine (separate prefill and
+// decode replicas with KV migration), and a token-parallel TKNP engine
+// (root ranks hold the weights, every rank owns a KV partition and runs
+// attention over it, queries scatter and attention outputs gather each
+// layer). All engines share the scheduler framework, the paged KV cache,
+// the GPU roofline cost model and the network link model, and differ only
+// in how a scheduled micro-batch maps onto hardware time.
 package engine
 
 import (
@@ -240,6 +244,9 @@ type Result struct {
 	// migrations (disaggregated engine only; zero elsewhere).
 	KVTransfers     int
 	KVTransferBytes int64
+	// TknpCommBytes counts the token-parallel engine's query-scatter and
+	// attention-gather traffic over the group link (zero elsewhere).
+	TknpCommBytes int64
 }
 
 // TokensPerIteration returns the per-iteration total batched token counts.

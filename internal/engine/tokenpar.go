@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/kvcache"
+	"gllm/internal/metrics"
+	"gllm/internal/network"
+	"gllm/internal/obs"
+	"gllm/internal/sched"
+	"gllm/internal/sim"
+	"gllm/internal/workload"
+)
+
+// TokenParallelConfig configures the TKNP engine: the root group (the
+// first RootTP ranks) holds the full model weights tensor-parallel and runs
+// QKV/output projections plus the MLP for the whole batch; every rank —
+// roots included — owns a 1/N partition of the KV cache and computes
+// attention scores only over its partition. Each layer the roots scatter
+// per-token queries (and the new tokens' KV entries) to the owning
+// partitions and gather attention outputs back over Topo.TPLink.
+type TokenParallelConfig struct {
+	Config
+	// RootTP is the tensor-parallel degree of the weight-holding root
+	// group (default 1: a single root rank).
+	RootTP int
+}
+
+// tokenParRun is the live state of one token-parallel simulation. Like the
+// tensor engine it runs one whole-model iteration at a time (pipeline
+// depth 1); the per-iteration price decomposes into root compute, scatter,
+// partitioned attention, and gather.
+type tokenParRun struct {
+	cfg       TokenParallelConfig
+	eng       *sim.Engine
+	cost      gpu.CostModel
+	pool      *sched.Pool
+	obs       BatchObserver
+	group     *sim.Resource
+	driverCPU *sim.Resource
+
+	running    bool
+	injections int
+	collector  metrics.Collector
+	iterations []IterRecord
+	commBytes  int64
+
+	rootBusy time.Duration // per-root-rank exec time (projections + MLP)
+	peerBusy time.Duration // per-rank attention exec time
+
+	pendingArrivals int
+	finishedCount   int
+	totalRequests   int
+	lastFinish      time.Duration
+	aborted         error
+}
+
+// tknpIterCost is the per-iteration price breakdown of one scheduled batch.
+type tknpIterCost struct {
+	total time.Duration
+	root  time.Duration // root-group compute incl. root-TP all-reduces
+	comm  time.Duration // query scatter + attention-output gather
+	peer  time.Duration // per-rank partitioned attention
+	bytes int64         // scatter + gather payload over the group link
+}
+
+// tokenParallelIterationTime prices one TKNP iteration over the whole
+// model: per layer, the root group computes projections and the MLP for
+// every token (plus its own all-reduces when RootTP > 1), scatters queries
+// and fresh KV entries to the partition owners, all N ranks run attention
+// over their KV slice, and the attention outputs are gathered back.
+func tokenParallelIterationTime(cost gpu.CostModel, topo network.Topology, rootTP int, shape gpu.BatchShape) tknpIterCost {
+	n := topo.GPUs()
+	layers := cost.Model.NumLayers
+	tokens := int64(shape.Tokens())
+	actBytes := tokens * cost.Model.ActivationBytesPerToken()
+
+	root := cost.TokenParallelRootLayerTime(shape, rootTP)
+	if rootTP > 1 {
+		// The root group's all-reduce is gated by its slowest internal hop.
+		link := topo.Hop(0)
+		for i := 1; i < rootTP-1; i++ {
+			if h := topo.Hop(i); h.Bandwidth < link.Bandwidth {
+				link = h
+			}
+		}
+		root += 2 * link.AllReduceTime(actBytes, rootTP)
+	}
+
+	scatterBytes := tokens * (cost.Model.ActivationBytesPerToken() + cost.Model.KVBytesPerTokenPerLayer())
+	gatherBytes := actBytes
+	comm := topo.TPLink.ScatterTime(scatterBytes, n) + topo.TPLink.ScatterTime(gatherBytes, n)
+	peer := cost.TokenParallelPeerLayerTime(shape, n)
+
+	l := time.Duration(layers)
+	return tknpIterCost{
+		total: l * (root + comm + peer),
+		root:  l * root,
+		comm:  l * comm,
+		peer:  l * peer,
+		bytes: int64(layers) * (scatterBytes + gatherBytes),
+	}
+}
+
+// RunTokenParallel simulates serving the trace on a token-parallel (TKNP)
+// deployment spanning all GPUs in cfg.Topo. The scheduler sees a pipeline
+// depth of 1: one in-flight batch over the whole model per iteration.
+func RunTokenParallel(cfg TokenParallelConfig, items []workload.Item) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Topo.GPUs()
+	if cfg.RootTP == 0 {
+		cfg.RootTP = 1
+	}
+	if cfg.RootTP < 1 || cfg.RootTP > n {
+		return nil, fmt.Errorf("engine: TKNP root TP degree %d out of [1,%d]", cfg.RootTP, n)
+	}
+	cost := gpu.NewCostModel(cfg.Model, cfg.GPU)
+	kvCap := cost.KVCapacityTokensTKNP(n, cfg.RootTP, cfg.MemUtil)
+	if kvCap < int64(cfg.KVBlockSize) {
+		return nil, fmt.Errorf("engine: %s on %d x %s under TKNP (root TP %d, KV capacity %d tokens): %w",
+			cfg.Model.Name, n, cfg.GPU.Name, cfg.RootTP, kvCap, ErrModelDoesNotFit)
+	}
+	if err := validateWorkload(items, kvCap); err != nil {
+		return nil, err
+	}
+
+	r := &tokenParRun{
+		cfg:             cfg,
+		eng:             sim.New(),
+		cost:            cost,
+		pool:            sched.NewPool(kvcache.New(kvCap, cfg.KVBlockSize), 1),
+		pendingArrivals: len(items),
+		totalRequests:   len(items),
+	}
+	r.group = sim.NewResource(r.eng, "tknp-group")
+	r.driverCPU = sim.NewResource(r.eng, "driver-cpu")
+
+	r.pool.EnablePrefixCache = cfg.EnablePrefixCache
+	r.pool.AllowPipelinedChunks = cfg.EnableCPP
+	if cfg.Observer != nil {
+		r.obs = cfg.Observer(r.pool, cfg.Scheduler)
+	}
+	for i, it := range items {
+		id := int64(i)
+		item := it
+		r.eng.At(item.Arrival, func() {
+			r.pendingArrivals--
+			r.pool.Add(newRequest(id, item))
+			r.tryInject()
+		})
+	}
+
+	r.eng.Run()
+	if r.aborted != nil {
+		return nil, r.aborted
+	}
+	if r.finishedCount != r.totalRequests {
+		return nil, fmt.Errorf("engine: only %d/%d requests finished (scheduling deadlock?)",
+			r.finishedCount, r.totalRequests)
+	}
+	if r.obs != nil {
+		if err := r.obs.Final(r.eng.Now()); err != nil {
+			return nil, err
+		}
+	}
+
+	makespan := r.lastFinish
+	stageBusy := make([]time.Duration, n)
+	var busySum time.Duration
+	for s := range stageBusy {
+		busy := r.peerBusy
+		if s < cfg.RootTP {
+			busy += r.rootBusy
+		}
+		stageBusy[s] = busy
+		busySum += busy
+	}
+	res := &Result{
+		SchedulerName:    cfg.Scheduler.Name(),
+		RuntimeName:      cfg.Runtime.Name,
+		Requests:         r.totalRequests,
+		Report:           r.collector.Report(makespan),
+		Collector:        &r.collector,
+		Iterations:       r.iterations,
+		Preemptions:      r.pool.Preemptions(),
+		Injections:       r.injections,
+		Makespan:         makespan,
+		KVCapacityTokens: kvCap,
+		StageBusy:        stageBusy,
+		TknpCommBytes:    r.commBytes,
+	}
+	if makespan > 0 {
+		res.BubbleFraction = 1 - float64(busySum)/(float64(makespan)*float64(n))
+	}
+	return res, nil
+}
+
+func (r *tokenParRun) tryInject() {
+	if r.aborted != nil || r.running {
+		return
+	}
+	if r.eng.Now() > r.cfg.MaxVirtualTime {
+		r.aborted = fmt.Errorf("engine: exceeded MaxVirtualTime %v (deadlock or overload)", r.cfg.MaxVirtualTime)
+		return
+	}
+	if r.obs != nil {
+		r.obs.BeforeSchedule(r.eng.Now())
+	}
+	b := r.cfg.Scheduler.Schedule(r.pool, r.eng.Now())
+	if r.obs != nil {
+		r.obs.AfterSchedule(b, r.eng.Now())
+		if err := r.obs.Err(); err != nil {
+			r.aborted = err
+			return
+		}
+	}
+	if b.Empty() {
+		return
+	}
+	r.running = true
+	r.injections++
+	shape := b.Shape()
+	r.iterations = append(r.iterations, IterRecord{
+		Time:    r.eng.Now(),
+		Prefill: b.PrefillTokens(),
+		Decode:  b.DecodeTokens(),
+	})
+	iter := tokenParallelIterationTime(r.cost, r.cfg.Topo, r.cfg.RootTP, shape)
+	seq := r.injections
+	run := func() {
+		r.group.Submit(iter.total, func() {
+			if r.aborted != nil {
+				return
+			}
+			now := r.eng.Now()
+			r.recordSpans(seq, shape.Tokens(), now, iter)
+			r.rootBusy += iter.root
+			r.peerBusy += iter.peer
+			r.commBytes += iter.bytes
+			finished := r.pool.Complete(b, r.eng.Now())
+			for _, f := range finished {
+				r.collector.Observe(f)
+				r.finishedCount++
+				r.lastFinish = r.eng.Now()
+			}
+			r.running = false
+			if r.obs != nil {
+				r.obs.AfterComplete(b, finished, r.eng.Now())
+				if err := r.obs.Err(); err != nil {
+					r.aborted = err
+					return
+				}
+			}
+			r.tryInject()
+		})
+	}
+	prep := r.cfg.Runtime.PrepTime(len(b.Chunks)+len(b.Decodes), b.Tokens())
+	if r.cfg.Runtime.Coupled {
+		r.driverCPU.Submit(prep, func() {
+			now := r.eng.Now()
+			r.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, seq, shape.Tokens(), now-prep, now)
+			run()
+		})
+	} else if prep > 0 {
+		now := r.eng.Now()
+		r.cfg.Spans.Record(obs.PrepStage, obs.KindPrep, seq, shape.Tokens(), now, now+prep)
+		r.eng.After(prep, run)
+	} else {
+		run()
+	}
+}
+
+// recordSpans emits the iteration's spans: root exec on the weight-holding
+// ranks, one transfer span for the scatter/gather traffic, and a
+// partitioned-attention exec span on every rank. The segments tile the
+// iteration window exactly (total == root + comm + peer).
+func (r *tokenParRun) recordSpans(seq, tokens int, end time.Duration, iter tknpIterCost) {
+	if r.cfg.Spans == nil {
+		return
+	}
+	start := end - iter.total
+	rootEnd := start + iter.root
+	commEnd := rootEnd + iter.comm
+	for s := 0; s < r.cfg.RootTP; s++ {
+		r.cfg.Spans.Record(s, obs.KindExec, seq, tokens, start, rootEnd)
+	}
+	r.cfg.Spans.Record(0, obs.KindXfer, seq, tokens, rootEnd, commEnd)
+	for s := 0; s < r.cfg.Topo.GPUs(); s++ {
+		r.cfg.Spans.Record(s, obs.KindExec, seq, tokens, commEnd, end)
+	}
+}

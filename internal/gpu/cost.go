@@ -30,6 +30,9 @@ func (b BatchShape) Tokens() int { return b.PrefillTokens + b.DecodeTokens }
 // Empty reports whether the batch contains no tokens.
 func (b BatchShape) Empty() bool { return b.Tokens() == 0 }
 
+// CtxSum returns the total attended context across all tokens.
+func (b BatchShape) CtxSum() float64 { return b.PrefillCtxSum + b.DecodeCtxSum }
+
 // Add merges another shape into b.
 func (b BatchShape) Add(o BatchShape) BatchShape {
 	return BatchShape{
@@ -48,7 +51,12 @@ func PrefillChunkCtxSum(ctxStart, chunkLen int) float64 {
 	return c*float64(ctxStart) + c*(c-1)/2
 }
 
-// CostModel prices forward passes of one model on one GPU type.
+// CostModel prices forward passes of one model on one GPU type. Every layer
+// decomposes into an attention component (QKV/O projections, attention
+// scores, KV-cache traffic) and an MLP component (FFN projections, expert
+// streaming); the aggregate LayerFLOPs/LayerBytes/LayerTime are exact sums
+// of the parts, so schemes that shard the two components differently (TKNP,
+// expert parallelism) price each side on its own roofline.
 // The zero value is invalid; use NewCostModel.
 type CostModel struct {
 	Model model.Config
@@ -64,6 +72,11 @@ type CostModel struct {
 	// ActivationRWFactor approximates intermediate activation traffic as a
 	// multiple of the token hidden-state size per layer.
 	ActivationRWFactor float64
+	// AttnActivationRW is the slice of ActivationRWFactor attributed to the
+	// attention component (QKV/score/output intermediates); the remainder
+	// is MLP traffic (SwiGLU gate/up/down intermediates). Both are integer
+	// multiples so the component split stays exact in float64.
+	AttnActivationRW float64
 }
 
 // NewCostModel builds a cost model with calibrated default efficiency
@@ -82,14 +95,38 @@ func NewCostModel(m model.Config, g Spec) CostModel {
 		MFUMax:             0.55,
 		BandwidthEff:       0.85,
 		ActivationRWFactor: 8,
+		AttnActivationRW:   3,
 	}
 }
 
+// AttnProjFLOPs returns the attention projection FLOPs (QKV and output
+// GEMMs) of one decoder layer for the batch.
+func (cm CostModel) AttnProjFLOPs(b BatchShape) float64 {
+	return cm.Model.AttnLinearFLOPsPerTokenPerLayer() * float64(b.Tokens())
+}
+
+// AttnScoreFLOPs returns the attention score FLOPs (QK^T plus
+// attention-weighted V over the attended context) of one layer.
+func (cm CostModel) AttnScoreFLOPs(b BatchShape) float64 {
+	return 4 * float64(cm.Model.NumHeads) * float64(cm.Model.HeadDim) * b.CtxSum()
+}
+
+// AttnFLOPs returns the attention-component FLOPs of one decoder layer:
+// QKV/output projections plus attention scores.
+func (cm CostModel) AttnFLOPs(b BatchShape) float64 {
+	return cm.AttnProjFLOPs(b) + cm.AttnScoreFLOPs(b)
+}
+
+// MLPFLOPs returns the FFN-component FLOPs of one decoder layer (active
+// experts plus router under MoE).
+func (cm CostModel) MLPFLOPs(b BatchShape) float64 {
+	return cm.Model.MLPLinearFLOPsPerTokenPerLayer() * float64(b.Tokens())
+}
+
 // LayerFLOPs returns the forward FLOPs of one decoder layer for the batch.
+// It is the exact sum of the attention and MLP components.
 func (cm CostModel) LayerFLOPs(b BatchShape) float64 {
-	lin := cm.Model.LinearFLOPsPerTokenPerLayer() * float64(b.Tokens())
-	attn := 4 * float64(cm.Model.NumHeads) * float64(cm.Model.HeadDim) * (b.PrefillCtxSum + b.DecodeCtxSum)
-	return lin + attn
+	return cm.AttnFLOPs(b) + cm.MLPFLOPs(b)
 }
 
 // ActivatedExperts returns the expected number of distinct experts a batch
@@ -106,31 +143,74 @@ func (cm CostModel) ActivatedExperts(tokens int) float64 {
 	return e * (1 - math.Pow(1-p, float64(tokens)))
 }
 
-// streamedWeightBytes returns the layer weights a batch actually reads:
-// everything for dense layers; attention + router + only the activated
+// streamedAttnWeightBytes returns the attention projection weights a batch
+// reads from HBM: always the full QKV/O slice (attention weights are never
+// expert-gated).
+func (cm CostModel) streamedAttnWeightBytes() float64 {
+	return float64(cm.Model.AttnWeightBytesPerLayer())
+}
+
+// streamedMLPWeightBytes returns the FFN weights a batch actually reads:
+// the whole FFN for dense layers; the router plus only the activated
 // experts for MoE layers. This is why MoE decode batches are
 // disproportionally memory-bound — a handful of tokens can still touch
 // most experts (the paper's §6 future-work observation).
-func (cm CostModel) streamedWeightBytes(tokens int) float64 {
+func (cm CostModel) streamedMLPWeightBytes(tokens int) float64 {
 	m := cm.Model
 	if !m.IsMoE() {
-		return float64(m.WeightBytesPerLayer())
+		return float64(m.MLPWeightBytesPerLayer())
 	}
-	fixed := float64((m.AttnParamsPerLayer() + m.RouterParams()) * int64(m.DTypeBytes))
+	router := float64(m.RouterParams() * int64(m.DTypeBytes))
 	experts := cm.ActivatedExperts(tokens) * float64(m.ExpertParams()*int64(m.DTypeBytes))
-	return fixed + experts
+	return router + experts
 }
 
-// LayerBytes returns the HBM traffic of one decoder layer for the batch:
-// weight streaming, KV-cache reads over attended context, KV writes for new
-// tokens, and intermediate activation traffic.
-func (cm CostModel) LayerBytes(b BatchShape) float64 {
-	weights := cm.streamedWeightBytes(b.Tokens())
+// streamedWeightBytes returns the layer weights a batch actually reads:
+// the attention slice plus the streamed FFN slice.
+func (cm CostModel) streamedWeightBytes(tokens int) float64 {
+	return cm.streamedAttnWeightBytes() + cm.streamedMLPWeightBytes(tokens)
+}
+
+// KVBytes returns the KV-cache traffic of one decoder layer for the batch:
+// reads over the attended context plus writes for every new token. This is
+// the I/O a TKNP peer pays for its KV partition.
+func (cm CostModel) KVBytes(b BatchShape) float64 {
 	kvPerTok := float64(cm.Model.KVBytesPerTokenPerLayer())
-	kvRead := kvPerTok * (b.PrefillCtxSum + b.DecodeCtxSum)
-	kvWrite := kvPerTok * float64(b.Tokens())
-	act := cm.ActivationRWFactor * float64(cm.Model.ActivationBytesPerToken()) * float64(b.Tokens())
-	return weights + kvRead + kvWrite + act
+	return kvPerTok*b.CtxSum() + kvPerTok*float64(b.Tokens())
+}
+
+// AttnBytes returns the attention-component HBM traffic of one decoder
+// layer: QKV/O weight streaming, KV-cache reads and writes, and the
+// attention share of intermediate activation traffic.
+func (cm CostModel) AttnBytes(b BatchShape) float64 {
+	act := cm.AttnActivationRW * float64(cm.Model.ActivationBytesPerToken()) * float64(b.Tokens())
+	return cm.streamedAttnWeightBytes() + cm.KVBytes(b) + act
+}
+
+// MLPBytes returns the FFN-component HBM traffic of one decoder layer:
+// streamed FFN weights plus the MLP share of activation traffic.
+func (cm CostModel) MLPBytes(b BatchShape) float64 {
+	mlpAct := cm.ActivationRWFactor - cm.AttnActivationRW
+	act := mlpAct * float64(cm.Model.ActivationBytesPerToken()) * float64(b.Tokens())
+	return cm.streamedMLPWeightBytes(b.Tokens()) + act
+}
+
+// LayerBytes returns the HBM traffic of one decoder layer for the batch.
+// It is the exact sum of the attention and MLP components.
+func (cm CostModel) LayerBytes(b BatchShape) float64 {
+	return cm.AttnBytes(b) + cm.MLPBytes(b)
+}
+
+// roofline converts a FLOP count and a byte count into execution time on
+// this GPU (whichever limiter dominates), without kernel overhead.
+func (cm CostModel) roofline(flops, bytes float64) time.Duration {
+	compute := flops / (cm.GPU.PeakFLOPS * cm.MFUMax)
+	mem := bytes / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return time.Duration(t * float64(time.Second))
 }
 
 // LayerTime returns the roofline execution time of one decoder layer.
@@ -139,13 +219,33 @@ func (cm CostModel) LayerTime(b BatchShape) time.Duration {
 	if b.Empty() {
 		return 0
 	}
-	compute := cm.LayerFLOPs(b) / (cm.GPU.PeakFLOPS * cm.MFUMax)
-	mem := cm.LayerBytes(b) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
-	t := compute
-	if mem > t {
-		t = mem
+	return cm.roofline(cm.LayerFLOPs(b), cm.LayerBytes(b)) + cm.GPU.KernelOverhead
+}
+
+// AttnTime returns the attention component's share of LayerTime,
+// apportioned along the binding dimension of the aggregate roofline
+// (FLOPs when compute-bound, bytes when memory-bound) so that
+// LayerTime == AttnTime + MLPTime holds exactly.
+func (cm CostModel) AttnTime(b BatchShape) time.Duration {
+	if b.Empty() {
+		return 0
 	}
-	return time.Duration(t*float64(time.Second)) + cm.GPU.KernelOverhead
+	var share float64
+	if cm.ComputeBound(b) {
+		share = cm.AttnFLOPs(b) / cm.LayerFLOPs(b)
+	} else {
+		share = cm.AttnBytes(b) / cm.LayerBytes(b)
+	}
+	return time.Duration(float64(cm.LayerTime(b)) * share)
+}
+
+// MLPTime returns the MLP component's share of LayerTime; by construction
+// AttnTime + MLPTime == LayerTime exactly.
+func (cm CostModel) MLPTime(b BatchShape) time.Duration {
+	if b.Empty() {
+		return 0
+	}
+	return cm.LayerTime(b) - cm.AttnTime(b)
 }
 
 // StageTime returns the execution time of `layers` consecutive decoder
@@ -161,7 +261,10 @@ func (cm CostModel) StageTime(b BatchShape, layers int) time.Duration {
 }
 
 // ComputeBound reports whether the batch is compute-limited (rather than
-// bandwidth-limited) on this model/GPU pair.
+// bandwidth-limited) on this model/GPU pair, judged on the aggregate layer
+// roofline. A mixed prefill+decode batch can be compute-bound in aggregate
+// while its attention component stays KV-I/O bound — use AttnComputeBound
+// and MLPComputeBound for per-component classification.
 func (cm CostModel) ComputeBound(b BatchShape) bool {
 	if b.Empty() {
 		return false
@@ -171,10 +274,47 @@ func (cm CostModel) ComputeBound(b BatchShape) bool {
 	return compute >= mem
 }
 
+// AttnComputeBound reports whether the attention component alone is
+// compute-limited. Decode-heavy batches are typically memory-bound here
+// (KV reads dominate) even when the aggregate batch is compute-bound —
+// the regime TKNP exploits.
+func (cm CostModel) AttnComputeBound(b BatchShape) bool {
+	if b.Empty() {
+		return false
+	}
+	compute := cm.AttnFLOPs(b) / (cm.GPU.PeakFLOPS * cm.MFUMax)
+	mem := cm.AttnBytes(b) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+	return compute >= mem
+}
+
+// MLPComputeBound reports whether the MLP component alone is
+// compute-limited.
+func (cm CostModel) MLPComputeBound(b BatchShape) bool {
+	if b.Empty() {
+		return false
+	}
+	compute := cm.MLPFLOPs(b) / (cm.GPU.PeakFLOPS * cm.MFUMax)
+	mem := cm.MLPBytes(b) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+	return compute >= mem
+}
+
+// kvShard clamps a head-sharded parallelism degree to the model's KV head
+// count: grouped-query attention has only NumKVHeads KV heads to split, so
+// beyond that degree every extra rank holds a replica of some KV head and
+// per-rank KV traffic (and residency) stops shrinking. Token-partitioned
+// schemes (TKNP) are exempt — they split KV by sequence, not by head.
+func (cm CostModel) kvShard(degree int) int {
+	if kv := cm.Model.NumKVHeads; degree > kv {
+		return kv
+	}
+	return degree
+}
+
 // TensorParallelLayerTime returns the per-layer compute time when the layer
 // is split across tpDegree GPUs (communication is priced separately by the
-// network model). FLOPs and bytes split evenly; the per-GPU weight slice is
-// 1/tpDegree of the layer.
+// network model). FLOPs and bytes split evenly — except KV-cache traffic,
+// which under grouped-query attention can shard at most NumKVHeads ways;
+// past that the per-rank KV I/O stops shrinking.
 func (cm CostModel) TensorParallelLayerTime(b BatchShape, tpDegree int) time.Duration {
 	if tpDegree < 1 {
 		panic(fmt.Sprintf("gpu: invalid TP degree %d", tpDegree))
@@ -182,13 +322,76 @@ func (cm CostModel) TensorParallelLayerTime(b BatchShape, tpDegree int) time.Dur
 	if b.Empty() {
 		return 0
 	}
-	compute := cm.LayerFLOPs(b) / float64(tpDegree) / (cm.GPU.PeakFLOPS * cm.MFUMax)
-	mem := cm.LayerBytes(b) / float64(tpDegree) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
-	t := compute
-	if mem > t {
-		t = mem
+	kvShard := cm.kvShard(tpDegree)
+	if kvShard == tpDegree {
+		compute := cm.LayerFLOPs(b) / float64(tpDegree) / (cm.GPU.PeakFLOPS * cm.MFUMax)
+		mem := cm.LayerBytes(b) / float64(tpDegree) / (cm.GPU.MemBandwidth * cm.BandwidthEff)
+		t := compute
+		if mem > t {
+			t = mem
+		}
+		return time.Duration(t*float64(time.Second)) + cm.GPU.KernelOverhead
 	}
-	return time.Duration(t*float64(time.Second)) + cm.GPU.KernelOverhead
+	kv := cm.KVBytes(b)
+	flops := cm.LayerFLOPs(b) / float64(tpDegree)
+	bytes := (cm.LayerBytes(b)-kv)/float64(tpDegree) + kv/float64(kvShard)
+	return cm.roofline(flops, bytes) + cm.GPU.KernelOverhead
+}
+
+// ComponentParallelLayerTime generalizes TensorParallelLayerTime to
+// different sharding degrees per component: attention (projections, scores,
+// KV traffic) splits attnDegree ways while the MLP splits mlpDegree ways.
+// Equal degrees reduce to plain tensor parallelism exactly.
+func (cm CostModel) ComponentParallelLayerTime(b BatchShape, attnDegree, mlpDegree int) time.Duration {
+	if attnDegree < 1 || mlpDegree < 1 {
+		panic(fmt.Sprintf("gpu: invalid component degrees attn=%d mlp=%d", attnDegree, mlpDegree))
+	}
+	if attnDegree == mlpDegree {
+		return cm.TensorParallelLayerTime(b, attnDegree)
+	}
+	if b.Empty() {
+		return 0
+	}
+	kv := cm.KVBytes(b)
+	flops := cm.AttnFLOPs(b)/float64(attnDegree) + cm.MLPFLOPs(b)/float64(mlpDegree)
+	bytes := (cm.AttnBytes(b)-kv)/float64(attnDegree) +
+		kv/float64(cm.kvShard(attnDegree)) +
+		cm.MLPBytes(b)/float64(mlpDegree)
+	return cm.roofline(flops, bytes) + cm.GPU.KernelOverhead
+}
+
+// TokenParallelRootLayerTime prices one layer's work on the TKNP root
+// group: the root ranks hold the full weights and run QKV/output
+// projections and the MLP for the whole batch (split rootTP ways when the
+// root group is itself tensor-parallel), streaming all layer weights and
+// activation traffic but none of the KV cache — peers own that.
+func (cm CostModel) TokenParallelRootLayerTime(b BatchShape, rootTP int) time.Duration {
+	if rootTP < 1 {
+		panic(fmt.Sprintf("gpu: invalid root TP degree %d", rootTP))
+	}
+	if b.Empty() {
+		return 0
+	}
+	flops := (cm.AttnProjFLOPs(b) + cm.MLPFLOPs(b)) / float64(rootTP)
+	act := cm.ActivationRWFactor * float64(cm.Model.ActivationBytesPerToken()) * float64(b.Tokens())
+	bytes := (cm.streamedWeightBytes(b.Tokens()) + act) / float64(rootTP)
+	return cm.roofline(flops, bytes) + cm.GPU.KernelOverhead
+}
+
+// TokenParallelPeerLayerTime prices one layer's attention over a KV
+// partition spanning groupSize ranks: each rank computes attention scores
+// for its 1/groupSize slice of the batch's context, reading and writing
+// only its own KV partition. No weights are streamed — peers hold none.
+func (cm CostModel) TokenParallelPeerLayerTime(b BatchShape, groupSize int) time.Duration {
+	if groupSize < 1 {
+		panic(fmt.Sprintf("gpu: invalid TKNP group size %d", groupSize))
+	}
+	if b.Empty() {
+		return 0
+	}
+	flops := cm.AttnScoreFLOPs(b) / float64(groupSize)
+	bytes := cm.KVBytes(b) / float64(groupSize)
+	return cm.roofline(flops, bytes) + cm.GPU.KernelOverhead
 }
 
 // KVCapacityTokensPP returns how many tokens of KV cache the cluster can
@@ -224,7 +427,9 @@ func (cm CostModel) KVCapacityTokensPP(stageLayers []int, memUtil float64) int64
 }
 
 // KVCapacityTokensTP returns the KV capacity under tensor parallelism of
-// the given degree: weights and KV heads are both sharded tpDegree ways.
+// the given degree: weights shard tpDegree ways, but KV residency shards at
+// most NumKVHeads ways (grouped-query attention replicates KV heads on the
+// extra ranks, so per-rank KV bytes per token stop shrinking past that).
 func (cm CostModel) KVCapacityTokensTP(tpDegree int, memUtil float64) int64 {
 	if tpDegree < 1 {
 		panic(fmt.Sprintf("gpu: invalid TP degree %d", tpDegree))
@@ -238,9 +443,40 @@ func (cm CostModel) KVCapacityTokensTP(tpDegree int, memUtil float64) int64 {
 	if avail < 0 {
 		return 0
 	}
-	perTok := cm.Model.KVBytesPerToken() / int64(tpDegree)
+	perTok := cm.Model.KVBytesPerToken() / int64(cm.kvShard(tpDegree))
 	if perTok == 0 {
 		return 0
 	}
 	return avail / perTok
+}
+
+// KVCapacityTokensTKNP returns the KV capacity of a token-parallel group of
+// groupSize ranks where the first rootTP ranks each hold a 1/rootTP slice
+// of the full model weights (plus embeddings) and every rank — roots
+// included — contributes its remaining memory to the sharded KV pool.
+func (cm CostModel) KVCapacityTokensTKNP(groupSize, rootTP int, memUtil float64) int64 {
+	if groupSize < 1 || rootTP < 1 || rootTP > groupSize {
+		panic(fmt.Sprintf("gpu: invalid TKNP group %d/root %d", groupSize, rootTP))
+	}
+	if memUtil <= 0 || memUtil > 1 {
+		panic(fmt.Sprintf("gpu: memUtil %g out of (0,1]", memUtil))
+	}
+	rootWeights := (int64(cm.Model.NumLayers)*cm.Model.WeightBytesPerLayer() +
+		cm.Model.EmbeddingParams()*int64(cm.Model.DTypeBytes)) / int64(rootTP)
+	budget := int64(float64(cm.GPU.MemoryBytes) * memUtil)
+	var total int64
+	for rank := 0; rank < groupSize; rank++ {
+		avail := budget
+		if rank < rootTP {
+			avail -= rootWeights
+		}
+		if avail > 0 {
+			total += avail
+		}
+	}
+	perTok := cm.Model.KVBytesPerToken()
+	if perTok == 0 {
+		return 0
+	}
+	return total / perTok
 }

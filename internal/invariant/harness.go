@@ -47,7 +47,7 @@ func HarnessGPU() gpu.Spec {
 
 // Combo names one engine × scheduler cell of the property sweep.
 type Combo struct {
-	// Engine is "pipeline", "tensor" or "disagg".
+	// Engine is "pipeline", "tensor", "disagg" or "tokenpar".
 	Engine string
 	// Scheduler is a sched.ByName policy, or "gllm-cost" for the cost-aware
 	// throttle. Ignored when Make is set (and by the disaggregated engine,
@@ -115,6 +115,8 @@ func RunCombo(c Combo, items []workload.Item, opts Options) (cycles int64, err e
 		_, err = engine.RunTensor(cfg, items)
 	case "disagg":
 		_, err = engine.RunDisaggregated(engine.DisaggConfig{Config: cfg, PrefillGPUs: 2}, items)
+	case "tokenpar":
+		_, err = engine.RunTokenParallel(engine.TokenParallelConfig{Config: cfg, RootTP: 2}, items)
 	default:
 		return 0, fmt.Errorf("invariant: unknown engine %q", c.Engine)
 	}
@@ -132,7 +134,7 @@ type HarnessConfig struct {
 	Seed uint64
 	// Requests per combo (default 200).
 	Requests int
-	// Engines to cross (default pipeline, tensor, disagg).
+	// Engines to cross (default pipeline, tensor, disagg, tokenpar).
 	Engines []string
 	// Schedulers to cross (default: every sched.ByName policy plus the
 	// cost-aware throttle).
@@ -153,7 +155,7 @@ func (hc *HarnessConfig) defaults() {
 		hc.Requests = 200
 	}
 	if len(hc.Engines) == 0 {
-		hc.Engines = []string{"pipeline", "tensor", "disagg"}
+		hc.Engines = []string{"pipeline", "tensor", "disagg", "tokenpar"}
 	}
 	if len(hc.Schedulers) == 0 {
 		hc.Schedulers = []string{

@@ -111,8 +111,13 @@ func (fifoBreaker) Schedule(p *sched.Pool, now time.Duration) *sched.Batch {
 
 func runMutant(t *testing.T, mk func() sched.Scheduler, seed uint64) error {
 	t.Helper()
+	return runMutantOn(t, "pipeline", mk, seed)
+}
+
+func runMutantOn(t *testing.T, eng string, mk func() sched.Scheduler, seed uint64) error {
+	t.Helper()
 	items := Workload(stats.NewRNG(seed), 120, 96, 48)
-	_, err := RunCombo(Combo{Engine: "pipeline", Make: mk}, items, Options{})
+	_, err := RunCombo(Combo{Engine: eng, Make: mk}, items, Options{})
 	return err
 }
 
@@ -147,6 +152,24 @@ func TestMutationKVLeakDetected(t *testing.T) {
 
 func TestMutationFIFOReorderDetected(t *testing.T) {
 	err := runMutant(t, func() sched.Scheduler { return fifoBreaker{} }, 13)
+	wantViolation(t, err, InvPrefillFIFO)
+}
+
+// TestMutationsDetectedOnTokenParallel re-runs all three mutants on the
+// TKNP engine: the checker's token-conservation, KV-residency and FIFO
+// oracles must hold over the fourth engine's scheduling loop too.
+func TestMutationsDetectedOnTokenParallel(t *testing.T) {
+	err := runMutantOn(t, "tokenpar", func() sched.Scheduler {
+		return &overBudget{inner: sched.NewSarathi(256), declared: 64}
+	}, 21)
+	wantViolation(t, err, InvBatchBudget)
+
+	err = runMutantOn(t, "tokenpar", func() sched.Scheduler {
+		return &kvLeaker{inner: sched.NewSarathi(256), leakAt: 3}
+	}, 22)
+	wantViolation(t, err, InvKVOwnership)
+
+	err = runMutantOn(t, "tokenpar", func() sched.Scheduler { return fifoBreaker{} }, 23)
 	wantViolation(t, err, InvPrefillFIFO)
 }
 

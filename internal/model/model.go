@@ -100,14 +100,21 @@ func (c Config) ParamsPerLayer() int64 {
 	return c.AttnParamsPerLayer() + c.MLPParamsPerLayer()
 }
 
+// ActiveMLPParamsPerTokenPerLayer counts the FFN parameters one token's
+// forward pass touches in one layer: the whole FFN for dense models, TopK
+// experts plus the router under MoE.
+func (c Config) ActiveMLPParamsPerTokenPerLayer() int64 {
+	if !c.IsMoE() {
+		return c.ExpertParams()
+	}
+	return int64(c.TopK)*c.ExpertParams() + c.RouterParams()
+}
+
 // ActiveParamsPerTokenPerLayer counts the parameters one token's forward
 // pass touches in one layer: everything for dense models, but only TopK
 // experts (plus attention and the router) under MoE.
 func (c Config) ActiveParamsPerTokenPerLayer() int64 {
-	if !c.IsMoE() {
-		return c.ParamsPerLayer()
-	}
-	return c.AttnParamsPerLayer() + int64(c.TopK)*c.ExpertParams() + c.RouterParams()
+	return c.AttnParamsPerLayer() + c.ActiveMLPParamsPerTokenPerLayer()
 }
 
 // EmbeddingParams counts the input embedding plus the LM head.
@@ -120,9 +127,21 @@ func (c Config) TotalParams() int64 {
 	return int64(c.NumLayers)*c.ParamsPerLayer() + c.EmbeddingParams()
 }
 
+// AttnWeightBytesPerLayer returns the bytes of one layer's attention
+// projection weights (Q, K, V, O).
+func (c Config) AttnWeightBytesPerLayer() int64 {
+	return c.AttnParamsPerLayer() * int64(c.DTypeBytes)
+}
+
+// MLPWeightBytesPerLayer returns the bytes of one layer's FFN weights
+// (all experts plus the router under MoE).
+func (c Config) MLPWeightBytesPerLayer() int64 {
+	return c.MLPParamsPerLayer() * int64(c.DTypeBytes)
+}
+
 // WeightBytesPerLayer returns the bytes of one decoder layer's weights.
 func (c Config) WeightBytesPerLayer() int64 {
-	return c.ParamsPerLayer() * int64(c.DTypeBytes)
+	return c.AttnWeightBytesPerLayer() + c.MLPWeightBytesPerLayer()
 }
 
 // KVBytesPerTokenPerLayer returns the KV-cache bytes one token occupies in
@@ -143,11 +162,23 @@ func (c Config) ActivationBytesPerToken() int64 {
 	return int64(c.HiddenSize) * int64(c.DTypeBytes)
 }
 
+// AttnLinearFLOPsPerTokenPerLayer returns the attention projection FLOPs
+// (QKV + output) one token costs in one layer: 2 FLOPs per parameter.
+func (c Config) AttnLinearFLOPsPerTokenPerLayer() float64 {
+	return 2 * float64(c.AttnParamsPerLayer())
+}
+
+// MLPLinearFLOPsPerTokenPerLayer returns the FFN FLOPs one token costs in
+// one layer: 2 FLOPs per active parameter (TopK experts + router for MoE).
+func (c Config) MLPLinearFLOPsPerTokenPerLayer() float64 {
+	return 2 * float64(c.ActiveMLPParamsPerTokenPerLayer())
+}
+
 // LinearFLOPsPerTokenPerLayer returns the projection FLOPs one token costs
 // in one layer: 2 FLOPs per parameter visited (active parameters only —
 // MoE tokens compute through TopK experts, not all of them).
 func (c Config) LinearFLOPsPerTokenPerLayer() float64 {
-	return 2 * float64(c.ActiveParamsPerTokenPerLayer())
+	return c.AttnLinearFLOPsPerTokenPerLayer() + c.MLPLinearFLOPsPerTokenPerLayer()
 }
 
 // AttnFLOPsPerTokenPerLayer returns the attention-score FLOPs one token

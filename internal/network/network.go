@@ -78,6 +78,26 @@ func (l Link) AllReduceTime(bytes int64, n int) time.Duration {
 	return time.Duration(steps) * perStep
 }
 
+// ScatterTime returns the time for a root to scatter (or symmetrically
+// gather) a payload of the given total size across n participants: the
+// root keeps its own 1/n slice locally and serializes the remaining
+// (n-1)/n of the bytes onto the link behind one message latency. This is
+// the token-parallel query-scatter / attention-gather cost; with n == 1
+// everything stays local and it is free.
+func (l Link) ScatterTime(bytes int64, n int) time.Duration {
+	if n < 1 {
+		panic(fmt.Sprintf("network: scatter with %d participants", n))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("network: negative scatter size %d", bytes))
+	}
+	if n == 1 {
+		return 0
+	}
+	wire := float64(bytes) * float64(n-1) / float64(n)
+	return l.Latency + time.Duration(wire/l.Bandwidth*float64(time.Second))
+}
+
 // Gbps returns the link bandwidth in gigabits per second (for reports).
 func (l Link) Gbps() float64 { return l.Bandwidth * 8 / 1e9 }
 
