@@ -1,13 +1,13 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke remote-smoke tknp-smoke fmt-check bench-steady bench-cluster bench-tknp
+.PHONY: check tier1 race fuzz-smoke trace-smoke cluster-smoke remote-smoke cluster-trace-smoke tknp-smoke fmt-check bench-steady bench-cluster bench-tknp
 
 # check runs everything a PR must pass: tier-1 build+tests, the race
 # tier (see ROADMAP.md), gofmt enforcement, a short fuzz smoke of both
-# fuzz targets, the trace-out round-trip smoke, and both cluster smokes
-# (in-process and remote-transport).
-check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke remote-smoke tknp-smoke
+# fuzz targets, the trace-out round-trip smoke, and the cluster smokes
+# (in-process, remote-transport, and distributed-tracing).
+check: tier1 race fmt-check fuzz-smoke trace-smoke cluster-smoke remote-smoke cluster-trace-smoke tknp-smoke
 
 tier1:
 	$(GO) build ./...
@@ -74,6 +74,18 @@ tknp-smoke:
 # context grid on the 16 x A100-40G NVLink extension testbed.
 bench-tknp:
 	$(GO) run ./cmd/gllm-experiments -run tknp -scale paper -out results/
+
+# cluster-trace-smoke exercises cluster-wide distributed tracing and
+# metrics federation end to end: 2 gllm-server children behind a
+# remote-only router, SSE traffic through the frontend, then the federated
+# /metrics page is parsed and the merged cross-process Chrome trace is
+# validated twice — inline by the selfcheck and again by gllm-tracecheck.
+cluster-trace-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/gllm-server ./cmd/gllm-server && \
+	$(GO) build -o $$tmp/gllm-tracecheck ./cmd/gllm-tracecheck && \
+	$(GO) run ./cmd/gllm-cluster -selfcheck-trace -server-bin $$tmp/gllm-server -trace-out $$tmp/req.json && \
+	$$tmp/gllm-tracecheck -requests $$tmp/req.json
 
 # trace-smoke round-trips a short simulation's -trace-out file through the
 # obs Chrome-trace decoder (gllm-tracecheck exits nonzero on a bad trace).

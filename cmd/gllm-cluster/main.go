@@ -40,6 +40,7 @@ import (
 	"gllm/internal/metrics"
 	"gllm/internal/model"
 	"gllm/internal/network"
+	"gllm/internal/obs"
 	"gllm/internal/runtime"
 	"gllm/internal/sched"
 	"gllm/internal/server"
@@ -81,7 +82,11 @@ func main() {
 		selfcheckRemote = flag.Bool("selfcheck-remote", false,
 			"spawn 2 gllm-server processes (-server-bin) plus 1 in-process replica behind one router, drain one remote mid-flight, kill the other mid-stream, verify recovery, exit")
 		serverBin = flag.String("server-bin", "",
-			"path to a gllm-server binary for -selfcheck-remote")
+			"path to a gllm-server binary for -selfcheck-remote / -selfcheck-trace")
+		traceOut = flag.String("trace-out", "",
+			"write the merged cross-process request trace (Chrome trace JSON) here on exit")
+		selfcheckTrace = flag.Bool("selfcheck-trace", false,
+			"spawn 2 gllm-server processes (-server-bin), route one traced request through the full HTTP path, write the merged trace to -trace-out, verify the federated /metrics, exit")
 	)
 	var remotes []string
 	flag.Func("replica",
@@ -102,6 +107,7 @@ func main() {
 		drainTimeout: *drainTimeout, seed: *seed, logLevel: *logLevel, selfcheck: *selfcheck,
 		remotes: remotes, probeInterval: *probeInterval, probeFailures: *probeFailures,
 		connectTimeout: *connectTimeout, selfcheckRemote: *selfcheckRemote, serverBin: *serverBin,
+		traceOut: *traceOut, selfcheckTrace: *selfcheckTrace,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "gllm-cluster:", err)
 		os.Exit(1)
@@ -132,6 +138,8 @@ type clusterOptions struct {
 	connectTimeout  time.Duration
 	selfcheckRemote bool
 	serverBin       string
+	traceOut        string
+	selfcheckTrace  bool
 }
 
 // remoteConfig renders the shared remote-transport settings for one
@@ -162,8 +170,10 @@ func parseLevel(s string) (slog.Level, error) {
 }
 
 // replicaFactory builds one fresh replica runtime per call; each gets its
-// own scheduler instance (schedulers hold mutable state).
-func replicaFactory(o clusterOptions) (func() (*runtime.Runtime, error), error) {
+// own scheduler instance (schedulers hold mutable state). In-process
+// replicas share the router's span recorder — same process, same clock,
+// so their replica-side spans merge with the router's for free.
+func replicaFactory(o clusterOptions, spans *obs.ReqRecorder) (func() (*runtime.Runtime, error), error) {
 	m, err := model.ByName(o.modelPath)
 	if err != nil {
 		return nil, err
@@ -186,6 +196,7 @@ func replicaFactory(o clusterOptions) (func() (*runtime.Runtime, error), error) 
 			Async:             true,
 			TimeScale:         o.timeScale,
 			EnablePrefixCache: o.prefixCache,
+			ReqSpans:          spans,
 		})
 	}, nil
 }
@@ -197,6 +208,8 @@ type admin struct {
 	nextID       atomic.Int64
 	drainTimeout time.Duration
 	logger       *slog.Logger
+	reqSpans     *obs.ReqRecorder  // router-side + in-process replica spans
+	timeline     *cluster.Timeline // /cluster/timeline pressure sampler
 }
 
 func buildCluster(o clusterOptions, logger *slog.Logger) (*admin, error) {
@@ -204,17 +217,20 @@ func buildCluster(o clusterOptions, logger *slog.Logger) (*admin, error) {
 	if err != nil {
 		return nil, err
 	}
-	fresh, err := replicaFactory(o)
+	reqSpans := obs.NewReqRecorder(0)
+	fresh, err := replicaFactory(o, reqSpans)
 	if err != nil {
 		return nil, err
 	}
 	a := &admin{
 		router: cluster.New(cluster.Config{
 			Policy: pol, Retry: o.retry, Seed: o.seed, Logger: logger,
+			ReqSpans: reqSpans,
 		}),
 		fresh:        fresh,
 		drainTimeout: o.drainTimeout,
 		logger:       logger,
+		reqSpans:     reqSpans,
 	}
 	for i := 0; i < o.replicas; i++ {
 		rt, err := fresh()
@@ -229,7 +245,9 @@ func buildCluster(o clusterOptions, logger *slog.Logger) (*admin, error) {
 		}
 	}
 	for i, baseURL := range o.remotes {
-		rem, err := cluster.NewRemote(o.remoteConfig(baseURL, logger))
+		cfg := o.remoteConfig(baseURL, logger)
+		cfg.ReqSpans = reqSpans
+		rem, err := cluster.NewRemote(cfg)
 		if err != nil {
 			a.router.Close()
 			return nil, err
@@ -240,7 +258,14 @@ func buildCluster(o clusterOptions, logger *slog.Logger) (*admin, error) {
 			return nil, err
 		}
 	}
+	a.timeline = cluster.NewTimeline(a.router, time.Second, 0)
 	return a, nil
+}
+
+// close tears down the sampler and every replica.
+func (a *admin) close() {
+	a.timeline.Stop()
+	a.router.Close()
 }
 
 // clusterBackend adapts the router to the HTTP frontend's Backend, so the
@@ -254,11 +279,12 @@ func (b clusterBackend) Submit(ctx context.Context, req server.SubmitRequest) (*
 		MaxTokens:       req.MaxTokens,
 		PrefixGroup:     req.PrefixGroup,
 		SharedPrefixLen: req.SharedPrefixLen,
+		Trace:           req.Trace,
 	})
 	return h, err
 }
-func (b clusterBackend) Stats() runtime.Snapshot   { return b.r.Stats() }
-func (b clusterBackend) Records() []metrics.Record { return b.r.Records() }
+func (b clusterBackend) Stats() runtime.Snapshot { return b.r.Stats() }
+func (b clusterBackend) Scrape() metrics.Scrape  { return b.r.Scrape() }
 
 // replicaStatus is one row of /cluster/stats.
 type replicaStatus struct {
@@ -292,7 +318,35 @@ func (a *admin) handleStats(w http.ResponseWriter, r *http.Request) {
 		"retired":     replicaRows(a.router.Retired()),
 		"retries_429": a.router.Retries429(),
 		"gave_up":     a.router.GaveUp(),
+		"router":      a.router.RouterStats(),
 	})
+}
+
+// handleMetrics serves the federated exposition: every replica's series
+// labeled {replica="id"} plus the gllm_router_* series. Registered on
+// the exact path so it shadows the frontend's single-node /metrics.
+func (a *admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WriteFamilies(w, a.router.Federate(r.Context()))
+}
+
+// handleTimeline serves the pressure/health ring, oldest sample first.
+func (a *admin) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"total":   a.timeline.Total(),
+		"samples": a.timeline.Samples(),
+	})
+}
+
+// handleTrace serves the merged Chrome trace (router + every replica's
+// spans, clock-aligned) for ad-hoc inspection without -trace-out.
+func (a *admin) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	exports := append([]obs.ReqExport{a.reqSpans.Export()}, a.router.TraceExports(r.Context())...)
+	if err := obs.WriteChromeRequests(w, exports...); err != nil {
+		a.logger.Warn("trace export", "err", err)
+	}
 }
 
 func (a *admin) handleDrain(w http.ResponseWriter, r *http.Request) {
@@ -337,12 +391,34 @@ func (a *admin) handleReplace(w http.ResponseWriter, r *http.Request) {
 // handler assembles the serving mux: the standard OpenAI-compatible
 // frontend plus the cluster admin endpoints.
 func (a *admin) handler(modelName string) http.Handler {
+	fe := server.NewBackend(clusterBackend{a.router}, modelName)
+	fe.EnableRequestTracing(a.reqSpans, obs.SideRouter)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster/stats", a.handleStats)
 	mux.HandleFunc("/cluster/drain", a.handleDrain)
 	mux.HandleFunc("/cluster/replace", a.handleReplace)
-	mux.Handle("/", server.NewBackend(clusterBackend{a.router}, modelName))
+	mux.HandleFunc("/cluster/timeline", a.handleTimeline)
+	mux.HandleFunc("/cluster/trace", a.handleTrace)
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.Handle("/", fe)
 	return mux
+}
+
+// writeMergedTrace gathers the router's spans plus every remote
+// replica's /tracespans export and writes one merged Chrome trace.
+func (a *admin) writeMergedTrace(path string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	exports := append([]obs.ReqExport{a.reqSpans.Export()}, a.router.TraceExports(ctx)...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeRequests(f, exports...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(o clusterOptions) error {
@@ -356,6 +432,9 @@ func run(o clusterOptions) error {
 	}
 	if o.selfcheckRemote {
 		return selfCheckRemote(o, logger)
+	}
+	if o.selfcheckTrace {
+		return selfCheckTrace(o, logger)
 	}
 
 	a, err := buildCluster(o, logger)
@@ -387,8 +466,17 @@ func run(o clusterOptions) error {
 	logger.Info("serving cluster",
 		"replicas", o.replicas, "policy", o.policy, "model", o.modelPath,
 		"pp", o.pp, "addr", httpSrv.Addr)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		return err
+	serveErr := httpSrv.ListenAndServe()
+	a.timeline.Stop()
+	if o.traceOut != "" {
+		if err := a.writeMergedTrace(o.traceOut); err != nil {
+			logger.Warn("trace-out", "path", o.traceOut, "err", err)
+		} else {
+			logger.Info("wrote merged request trace", "path", o.traceOut)
+		}
+	}
+	if serveErr != nil && serveErr != http.ErrServerClosed {
+		return serveErr
 	}
 	return nil
 }
@@ -405,7 +493,7 @@ func selfCheck(o clusterOptions, logger *slog.Logger) error {
 	if err != nil {
 		return err
 	}
-	defer a.router.Close()
+	defer a.close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -179,7 +179,7 @@ func selfCheckRemote(o clusterOptions, logger *slog.Logger) error {
 	if err != nil {
 		return err
 	}
-	fresh, err := replicaFactory(o)
+	fresh, err := replicaFactory(o, nil)
 	if err != nil {
 		return err
 	}

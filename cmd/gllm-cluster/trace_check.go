@@ -1,0 +1,259 @@
+package main
+
+// selfCheckTrace is the end-to-end smoke behind `make cluster-trace-smoke`:
+// two real gllm-server processes behind a remote-only router (so every
+// request crosses the HTTP boundary), conversation traffic through the
+// frontend's full SSE path, then hard verification of the observability
+// surfaces this build adds:
+//
+//  1. the federated /metrics page parses as Prometheus text 0.0.4 and
+//     carries per-replica-labeled series plus nonzero gllm_router_* series;
+//  2. the merged Chrome trace written to -trace-out decodes, passes the
+//     request-trace validator (one router root per trace, no overlapping
+//     series, replica spans inside the root up to clock skew), and at
+//     least one trace carries spans from BOTH sides of the HTTP hop.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gllm/internal/client"
+	"gllm/internal/metrics"
+	"gllm/internal/obs"
+	"gllm/internal/stats"
+	"gllm/internal/workload"
+)
+
+// traceSkew is the cross-process clock tolerance for validating merged
+// traces: same-host wall clocks anchor each process's span origin, so
+// replica spans may escape the router root by scheduling jitter only.
+const traceSkew = 50 * time.Millisecond
+
+// findFamily returns the parsed family with the given name, or nil.
+func findFamily(fams []metrics.Family, name string) *metrics.Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// hasLabel reports whether the sample carries the label pair.
+func hasLabel(s metrics.Sample, name, value string) bool {
+	for _, l := range s.Labels {
+		if l.Name == name && l.Value == value {
+			return true
+		}
+	}
+	return false
+}
+
+func selfCheckTrace(o clusterOptions, logger *slog.Logger) error {
+	if o.serverBin == "" {
+		return fmt.Errorf("selfcheck-trace: -server-bin required (path to a gllm-server binary)")
+	}
+	if o.traceOut == "" {
+		o.traceOut = filepath.Join(os.TempDir(), fmt.Sprintf("gllm-cluster-trace-%d.json", os.Getpid()))
+	}
+
+	// Two remote processes, zero in-process replicas: every routed request
+	// must cross the HTTP hop, so the merged trace always spans processes.
+	portA, err := freePort()
+	if err != nil {
+		return err
+	}
+	portB, err := freePort()
+	if err != nil {
+		return err
+	}
+	procA, err := spawnServer(o.serverBin, portA, o)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = procA.Process.Kill(); _ = procA.Wait() }()
+	procB, err := spawnServer(o.serverBin, portB, o)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = procB.Process.Kill(); _ = procB.Wait() }()
+	baseA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	baseB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	if err := waitHealthy(baseA, 15*time.Second); err != nil {
+		return err
+	}
+	if err := waitHealthy(baseB, 15*time.Second); err != nil {
+		return err
+	}
+
+	o.replicas = 0
+	o.remotes = []string{baseA, baseB}
+	o.policy = "round-robin"
+	a, err := buildCluster(o, logger)
+	if err != nil {
+		return err
+	}
+	defer a.close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: a.handler(o.modelPath)}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A short burst of multi-turn conversations through the frontend; the
+	// frontend mints a trace ID per request and both hops record spans.
+	trace := workload.Conversations(stats.NewRNG(o.seed), workload.ConversationSpec{
+		Dataset:     workload.ShareGPT,
+		Rate:        8,
+		Window:      500 * time.Millisecond,
+		MaxTurns:    2,
+		ThinkMean:   50 * time.Millisecond,
+		FollowUpLen: 16,
+		MaxContext:  512,
+	})
+	if len(trace) == 0 {
+		return fmt.Errorf("selfcheck-trace: empty trace")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := client.Run(ctx, client.Options{
+		BaseURL:     base,
+		Model:       o.modelPath,
+		Items:       trace,
+		PromptMode:  client.PromptSynthetic,
+		MaxInFlight: 8,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range res.Errors {
+		return fmt.Errorf("selfcheck-trace: stream error (of %d): %w", len(res.Errors), e)
+	}
+
+	// 1. Federated /metrics: must parse as Prometheus 0.0.4 and carry
+	// per-replica-labeled series plus nonzero router series.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("selfcheck-trace: scrape frontend: %w", err)
+	}
+	fams, err := metrics.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("selfcheck-trace: federated exposition does not parse: %w", err)
+	}
+	picks := findFamily(fams, "gllm_router_picks_total")
+	if picks == nil {
+		return fmt.Errorf("selfcheck-trace: no gllm_router_picks_total family")
+	}
+	var picked float64
+	for _, s := range picks.Samples {
+		picked += s.Value
+	}
+	if picked < float64(len(trace)) {
+		return fmt.Errorf("selfcheck-trace: gllm_router_picks_total sums to %v, want >= %d", picked, len(trace))
+	}
+	up := findFamily(fams, "gllm_replica_up")
+	if up == nil {
+		return fmt.Errorf("selfcheck-trace: no gllm_replica_up family")
+	}
+	for _, id := range []string{"remote0", "remote1"} {
+		found := false
+		for _, s := range up.Samples {
+			if hasLabel(s, "replica", id) && s.Value == 1 {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("selfcheck-trace: gllm_replica_up{replica=%q} != 1", id)
+		}
+		// The remote's own series must federate under its replica label —
+		// gllm_requests_finished_total is served by every gllm-server.
+		reqs := findFamily(fams, "gllm_requests_finished_total")
+		if reqs == nil {
+			return fmt.Errorf("selfcheck-trace: no federated gllm_requests_finished_total family")
+		}
+		found = false
+		for _, s := range reqs.Samples {
+			if hasLabel(s, "replica", id) {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("selfcheck-trace: gllm_requests_total missing {replica=%q} series", id)
+		}
+	}
+
+	// /cluster/timeline must have sampled both remotes at least once.
+	tl, err := http.Get(base + "/cluster/timeline")
+	if err != nil {
+		return fmt.Errorf("selfcheck-trace: timeline: %w", err)
+	}
+	tl.Body.Close()
+	if tl.StatusCode != http.StatusOK {
+		return fmt.Errorf("selfcheck-trace: timeline status %s", tl.Status)
+	}
+	if a.timeline.Total() == 0 {
+		return fmt.Errorf("selfcheck-trace: timeline recorded no samples")
+	}
+
+	// 2. Merged trace: gather the router's spans plus both remotes'
+	// /tracespans exports (the children are still alive here), then decode
+	// and validate the written file the way gllm-tracecheck does.
+	if err := a.writeMergedTrace(o.traceOut); err != nil {
+		return fmt.Errorf("selfcheck-trace: write merged trace: %w", err)
+	}
+	f, err := os.Open(o.traceOut)
+	if err != nil {
+		return err
+	}
+	decoded, err := obs.ReadChromeRequests(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("selfcheck-trace: merged trace does not decode: %w", err)
+	}
+	if err := decoded.Validate(traceSkew); err != nil {
+		return fmt.Errorf("selfcheck-trace: merged trace invalid: %w", err)
+	}
+	crossProcess := 0
+	for _, spans := range decoded.ByID {
+		router, replica := false, false
+		for _, s := range spans {
+			switch s.Side {
+			case obs.SideRouter:
+				router = true
+			case obs.SideReplica:
+				replica = true
+			}
+		}
+		if router && replica {
+			crossProcess++
+		}
+	}
+	if crossProcess == 0 {
+		return fmt.Errorf("selfcheck-trace: no trace carries both router- and replica-side spans (%d traces)",
+			len(decoded.ByID))
+	}
+
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer sdCancel()
+	if err := a.router.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("selfcheck-trace: shutdown: %w", err)
+	}
+	logger.Info("selfcheck-trace ok",
+		"streams", len(trace), "traces", len(decoded.ByID),
+		"cross_process", crossProcess, "trace_out", o.traceOut)
+	fmt.Printf("selfcheck-trace ok: %d streams over 2 remote replicas, %d merged traces "+
+		"(%d spanning the HTTP hop), federated /metrics verified, trace at %s\n",
+		len(trace), len(decoded.ByID), crossProcess, o.traceOut)
+	return nil
+}

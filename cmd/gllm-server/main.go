@@ -150,6 +150,10 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 	if opts.traceOut != "" {
 		rec = obs.NewRecorder(pp, 0)
 	}
+	// Request-span recording is always on: spans land in a fixed ring
+	// (alloc-free record path) and export at GET /tracespans, so a cluster
+	// frontend can merge this replica's view into one cross-process trace.
+	reqSpans := obs.NewReqRecorder(0)
 	rt, err := runtime.Start(runtime.Config{
 		Model:             m,
 		GPU:               g,
@@ -164,13 +168,16 @@ func run(port int, modelPath string, pp int, gpuName string, memUtil float64,
 		WatchdogTimeout:   watchdogTimeout,
 		StageFault:        fault,
 		Spans:             rec,
+		ReqSpans:          reqSpans,
 		Logger:            logger,
 	})
 	if err != nil {
 		return err
 	}
 
-	handler := http.Handler(server.New(rt, m.Name))
+	srv := server.New(rt, m.Name)
+	srv.EnableRequestTracing(reqSpans, obs.SideReplica)
+	handler := http.Handler(srv)
 	if opts.pprofOn {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -32,18 +32,18 @@ func writeSample(t *testing.T, stages int) string {
 
 func TestRunValidTrace(t *testing.T) {
 	path := writeSample(t, 4)
-	if err := run(path, 4, os.Stdout); err != nil {
+	if err := runStages(path, 4, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	// Stage count 0 accepts any trace.
-	if err := run(path, 0, os.Stdout); err != nil {
+	if err := runStages(path, 0, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStageMismatch(t *testing.T) {
 	path := writeSample(t, 2)
-	if err := run(path, 4, os.Stdout); err == nil {
+	if err := runStages(path, 4, os.Stdout); err == nil {
 		t.Fatal("stage mismatch accepted")
 	}
 }
@@ -53,10 +53,49 @@ func TestRunRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"not":"a trace"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 0, os.Stdout); err == nil {
+	if err := runStages(path, 0, os.Stdout); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, os.Stdout); err == nil {
+	if err := runStages(filepath.Join(t.TempDir(), "missing.json"), 0, os.Stdout); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// writeRequestSample produces a minimal valid merged request trace: one
+// router root enclosing an admit span plus a replica-side queue span.
+func writeRequestSample(t *testing.T) string {
+	t.Helper()
+	rr := obs.NewReqRecorder(0)
+	id := obs.TraceID(0xbeef)
+	base := time.Now()
+	rr.Record(id, obs.SpanRequest, obs.SideRouter, "length", 0, base, base.Add(10*time.Millisecond))
+	rr.Record(id, obs.SpanAdmit, obs.SideRouter, "", 0, base, base.Add(time.Millisecond))
+	rr.Record(id, obs.SpanQueue, obs.SideReplica, "", 0, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+	path := filepath.Join(t.TempDir(), "req.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeRequests(f, rr.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRequestsValidTrace(t *testing.T) {
+	path := writeRequestSample(t)
+	if err := runRequests(path, 50*time.Millisecond, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequestsRejectsStageTrace(t *testing.T) {
+	// A stage trace is not a request trace; -requests must reject it.
+	path := writeSample(t, 2)
+	if err := runRequests(path, 0, os.Stdout); err == nil {
+		t.Fatal("stage trace accepted as a request trace")
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"gllm/internal/metrics"
+	"gllm/internal/obs"
 	"gllm/internal/runtime"
 	"gllm/internal/stats"
 )
@@ -43,7 +44,7 @@ import (
 // Engine is the per-replica runtime surface the router consumes. A
 // *runtime.Runtime implements it; tests substitute fault-injecting fakes.
 type Engine interface {
-	SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*runtime.Handle, error)
+	SubmitBatchedSpec(ctx context.Context, spec runtime.SubmitSpec) (*runtime.Handle, error)
 	MatchPrefix(group int64, maxTokens int) int
 	Pressure() runtime.Pressure
 	Stats() runtime.Snapshot
@@ -54,12 +55,15 @@ type Engine interface {
 
 // Request is one generation to route: lengths plus optional conversation
 // identity (PrefixGroup/SharedPrefixLen) for prefix-affinity routing and
-// KV reuse on the chosen replica.
+// KV reuse on the chosen replica. Trace, when non-zero, is the distributed
+// trace context: the router records its pick/backoff attempts under it and
+// forwards it to the chosen replica.
 type Request struct {
 	PromptLen       int
 	MaxTokens       int
 	PrefixGroup     int64
 	SharedPrefixLen int
+	Trace           obs.TraceID
 }
 
 // Replica wraps one engine with routing state and counters.
@@ -175,6 +179,10 @@ type Config struct {
 	Seed uint64
 	// Logger, when non-nil, receives routing lifecycle logs.
 	Logger *slog.Logger
+	// ReqSpans, when non-nil, records router-side request spans (one pick
+	// span per routing attempt, one backoff span per retry sleep) for
+	// traced submissions.
+	ReqSpans *obs.ReqRecorder
 }
 
 // Router fronts a mutable set of replicas.
@@ -193,6 +201,18 @@ type Router struct {
 
 	retries429 atomic.Int64 // rejected attempts that were retried
 	gaveUp     atomic.Int64 // submissions that exhausted the retry budget
+	drains     atomic.Int64 // Drain calls (replica lifecycle events)
+	replaces   atomic.Int64 // Replace calls
+
+	reqSpans *obs.ReqRecorder
+
+	// Router-level observability, off the token hot path (touched once per
+	// routing attempt): per-reason retry counters, per-replica pick
+	// counters, and a histogram of actual backoff sleeps.
+	omu     sync.Mutex
+	retries map[string]int64 // retried attempts by reason (queue_full, …)
+	picks   map[string]int64 // accepted submissions by replica ID
+	backoff *metrics.Hist    // backoff sleep durations, seconds
 }
 
 // New builds a router. Replicas are added with Add.
@@ -209,11 +229,15 @@ func New(cfg Config) *Router {
 		cfg.Clock = realClock{}
 	}
 	return &Router{
-		policy: cfg.Policy,
-		retry:  cfg.Retry,
-		clock:  cfg.Clock,
-		logger: cfg.Logger,
-		jitter: stats.NewRNG(cfg.Seed ^ 0x726f75746572), // "router"
+		policy:   cfg.Policy,
+		retry:    cfg.Retry,
+		clock:    cfg.Clock,
+		logger:   cfg.Logger,
+		jitter:   stats.NewRNG(cfg.Seed ^ 0x726f75746572), // "router"
+		reqSpans: cfg.ReqSpans,
+		retries:  make(map[string]int64),
+		picks:    make(map[string]int64),
+		backoff:  metrics.NewHist(metrics.DefaultLatencyBuckets),
 	}
 }
 
@@ -289,6 +313,7 @@ func (c *Router) Drain(ctx context.Context, id string) error {
 		return fmt.Errorf("cluster: no replica %q", id)
 	}
 	rep.draining.Store(true)
+	c.drains.Add(1)
 	c.logEvent(slog.LevelInfo, "replica draining", "id", id)
 	err := rep.eng.Shutdown(ctx)
 	c.retire(id)
@@ -305,6 +330,7 @@ func (c *Router) Replace(ctx context.Context, oldID, newID string, eng Engine) (
 	if err != nil {
 		return nil, err
 	}
+	c.replaces.Add(1)
 	if err := c.Drain(ctx, oldID); err != nil {
 		return rep, err
 	}
@@ -394,12 +420,52 @@ func (c *Router) backoffDelay(attempt int, hint time.Duration) time.Duration {
 	return base + j
 }
 
+// retryReason names a retryable submission error for the per-reason retry
+// counters and backoff spans. ErrNoReplica is checked first — it wraps
+// ErrQueueFull deliberately, so the generic check would shadow it.
+func retryReason(err error) string {
+	switch {
+	case errors.Is(err, ErrNoReplica):
+		return "no_replica"
+	case errors.Is(err, runtime.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, runtime.ErrStopped):
+		return "stopped"
+	default:
+		return "other"
+	}
+}
+
+// noteRetry counts one retried attempt under its reason.
+func (c *Router) noteRetry(reason string) {
+	c.omu.Lock()
+	c.retries[reason]++
+	c.omu.Unlock()
+}
+
+// notePick counts one accepted submission on a replica.
+func (c *Router) notePick(id string) {
+	c.omu.Lock()
+	c.picks[id]++
+	c.omu.Unlock()
+}
+
+// recordSpan records one router-side request span (no-op when the router
+// has no recorder or the request is untraced). Spans use wall-clock time,
+// not the injected retry Clock: they are merged against other processes'
+// recorders, which only share the wall clock.
+func (c *Router) recordSpan(trace obs.TraceID, name, detail string, attempt int, start, end time.Time) {
+	c.reqSpans.Record(trace, name, obs.SideRouter, detail, attempt, start, end)
+}
+
 // Submit routes a request to a replica and returns its streaming handle
 // (batched slab delivery; drain with Handle.Next) plus the replica that
 // accepted it. Saturation (429-class) failures are retried on fresh picks
 // with capped jittered backoff until the retry policy's attempt and time
 // budgets are exhausted, at which point the terminal error — wrapping
-// runtime.ErrQueueFull — is surfaced.
+// runtime.ErrQueueFull — is surfaced. Traced requests get one pick span
+// per attempt (detail = replica ID, or "none" when no replica was
+// routable) and one backoff span per retry sleep (detail = reason).
 func (c *Router) Submit(ctx context.Context, req Request) (*runtime.Handle, *Replica, error) {
 	start := c.clock.Now()
 	var lastErr error
@@ -410,12 +476,22 @@ func (c *Router) Submit(ctx context.Context, req Request) (*runtime.Handle, *Rep
 		}
 		attempts++
 		var hint time.Duration
+		pickStart := time.Now()
 		rep, err := c.pick(req)
 		if err == nil {
 			var h *runtime.Handle
-			h, err = rep.eng.SubmitBatchedPrefix(ctx, req.PromptLen, req.MaxTokens, req.PrefixGroup, req.SharedPrefixLen)
+			spec := runtime.SubmitSpec{
+				PromptLen:       req.PromptLen,
+				MaxTokens:       req.MaxTokens,
+				PrefixGroup:     req.PrefixGroup,
+				SharedPrefixLen: req.SharedPrefixLen,
+				Trace:           req.Trace,
+			}
+			h, err = rep.eng.SubmitBatchedSpec(ctx, spec)
+			c.recordSpan(req.Trace, obs.SpanPick, rep.ID, attempt, pickStart, time.Now())
 			if err == nil {
 				rep.routed.Add(1)
+				c.notePick(rep.ID)
 				return h, rep, nil
 			}
 			if !retryable(err) {
@@ -425,6 +501,8 @@ func (c *Router) Submit(ctx context.Context, req Request) (*runtime.Handle, *Rep
 				rep.rejects.Add(1)
 				hint = rep.Pressure().RetryAfterHint()
 			}
+		} else {
+			c.recordSpan(req.Trace, obs.SpanPick, "none", attempt, pickStart, time.Now())
 		}
 		lastErr = err
 		if attempt == c.retry.MaxAttempts-1 {
@@ -435,9 +513,14 @@ func (c *Router) Submit(ctx context.Context, req Request) (*runtime.Handle, *Rep
 			break // the sleep would blow the budget: give up now
 		}
 		c.retries429.Add(1)
+		reason := retryReason(lastErr)
+		c.noteRetry(reason)
+		c.backoff.Observe(delay.Seconds())
+		sleepStart := time.Now()
 		if err := c.clock.Sleep(ctx, delay); err != nil {
 			return nil, nil, err
 		}
+		c.recordSpan(req.Trace, obs.SpanBackoff, reason, attempt, sleepStart, time.Now())
 	}
 	c.gaveUp.Add(1)
 	c.logEvent(slog.LevelWarn, "submission gave up",
@@ -499,6 +582,83 @@ func (c *Router) Stats() runtime.Snapshot {
 		agg.Health = runtime.HealthStopped
 	}
 	return agg
+}
+
+// Scrape merges every replica's incremental metric state (active and
+// retired, so counters stay monotone across drains) — the O(buckets)
+// feed for the frontend's aggregate /metrics.
+func (c *Router) Scrape() metrics.Scrape {
+	var out metrics.Scrape
+	for _, rep := range append(c.Replicas(), c.Retired()...) {
+		out.Merge(rep.eng.Metrics().Scrape())
+	}
+	return out
+}
+
+// RouterStats is the router-level observability snapshot: retry/backoff
+// behavior, pick distribution, lifecycle events, and per-replica probe
+// state — everything the federated /metrics renders as gllm_router_*
+// series and the admin surface reports alongside replica rows.
+type RouterStats struct {
+	Policy     string                `json:"policy"`
+	Retries    int64                 `json:"retries"`
+	GaveUp     int64                 `json:"gave_up"`
+	Drains     int64                 `json:"drains"`
+	Replaces   int64                 `json:"replaces"`
+	ByReason   map[string]int64      `json:"retries_by_reason,omitempty"`
+	Picks      map[string]int64      `json:"picks,omitempty"`
+	Backoff    metrics.HistSnapshot  `json:"-"`
+	BackoffSum float64               `json:"backoff_seconds_sum"`
+	Probes     map[string]ProbeState `json:"probes,omitempty"`
+}
+
+// RouterStats snapshots the router-level counters. Probe states are
+// gathered from replicas whose engines expose one (remote transports).
+func (c *Router) RouterStats() RouterStats {
+	st := RouterStats{
+		Policy:   c.policy.Name(),
+		Retries:  c.retries429.Load(),
+		GaveUp:   c.gaveUp.Load(),
+		Drains:   c.drains.Load(),
+		Replaces: c.replaces.Load(),
+		ByReason: make(map[string]int64),
+		Picks:    make(map[string]int64),
+		Backoff:  c.backoff.Snapshot(),
+	}
+	st.BackoffSum = st.Backoff.Sum
+	c.omu.Lock()
+	for k, v := range c.retries {
+		st.ByReason[k] = v
+	}
+	for k, v := range c.picks {
+		st.Picks[k] = v
+	}
+	c.omu.Unlock()
+	for _, rep := range append(c.Replicas(), c.Retired()...) {
+		if ps, ok := rep.ProbeState(); ok {
+			if st.Probes == nil {
+				st.Probes = make(map[string]ProbeState)
+			}
+			st.Probes[rep.ID] = ps
+		}
+	}
+	return st
+}
+
+// ProbeStater is the optional Engine extension exposing remote health-
+// probe state (consecutive failures, last transition). In-process
+// replicas have no prober and simply don't implement it.
+type ProbeStater interface {
+	ProbeState() ProbeState
+}
+
+// ProbeState reports whether this replica's engine exposes probe state
+// (remote transports do) and, if so, its current snapshot.
+func (r *Replica) ProbeState() (ProbeState, bool) {
+	if ps, ok := r.eng.(ProbeStater); ok {
+		return ps.ProbeState(), true
+	}
+	return ProbeState{}, false
 }
 
 // Records concatenates every replica's request records (active and

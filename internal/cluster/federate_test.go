@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"gllm/internal/metrics"
+)
+
+// fakeProber is a fakeEngine that also exposes probe state, like the
+// remote transport does.
+type fakeProber struct {
+	*fakeEngine
+	ps ProbeState
+}
+
+func (f *fakeProber) ProbeState() ProbeState { return f.ps }
+
+// parseFederated renders families to Prometheus text and parses them
+// back, so every assertion also proves the page is a valid exposition.
+func parseFederated(t *testing.T, fams []metrics.Family) map[string]metrics.Family {
+	t.Helper()
+	var buf bytes.Buffer
+	metrics.WriteFamilies(&buf, fams)
+	parsed, err := metrics.ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("federated page does not parse: %v", err)
+	}
+	byName := make(map[string]metrics.Family, len(parsed))
+	for _, f := range parsed {
+		byName[f.Name] = f
+	}
+	return byName
+}
+
+// sampleValue returns the value of the sample carrying all the given
+// label pairs, or fails.
+func sampleValue(t *testing.T, f metrics.Family, want ...metrics.Label) float64 {
+	t.Helper()
+outer:
+	for _, s := range f.Samples {
+		for _, wl := range want {
+			found := false
+			for _, l := range s.Labels {
+				if l == wl {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue outer
+			}
+		}
+		return s.Value
+	}
+	t.Fatalf("family %s: no sample with labels %v (have %v)", f.Name, want, f.Samples)
+	return 0
+}
+
+// The federated page carries every replica's series under its
+// {replica=...} label, an up gauge per replica, and the gllm_router_*
+// series — and the whole thing round-trips through the text parser.
+func TestFederateLabelsAndRouterSeries(t *testing.T) {
+	engA := newFakeEngine(okPressure())
+	engA.rejectFirst = 1
+	rtDelegate := startReplica(t, nil)
+	engA.delegate = rtDelegate
+	engB := &fakeProber{
+		fakeEngine: newFakeEngine(okPressure()),
+		ps: ProbeState{
+			ConsecutiveFailures: 2,
+			Trips:               3,
+			Recoveries:          1,
+			LastTransitionTo:    HealthUnreachable,
+		},
+	}
+
+	clk := newFakeClock()
+	r := New(Config{
+		Policy: NewRoundRobin(),
+		Retry: RetryPolicy{
+			MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+			Budget: time.Hour,
+		},
+		Clock: clk, Seed: 5,
+	})
+	if _, err := r.Add("a", engA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("b", engB); err != nil {
+		t.Fatal(err)
+	}
+
+	// One submission that retries once on "a" before landing ("b" rejects
+	// always: nil delegate), so the router series are nonzero.
+	h, _, err := r.Submit(context.Background(), Request{PromptLen: 8, MaxTokens: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for h.Next(ctx) != nil {
+	}
+
+	byName := parseFederated(t, r.Federate(context.Background()))
+
+	lbl := func(n, v string) metrics.Label { return metrics.Label{Name: n, Value: v} }
+	for _, id := range []string{"a", "b"} {
+		if got := sampleValue(t, byName["gllm_replica_up"], lbl("replica", id)); got != 1 {
+			t.Fatalf("gllm_replica_up{replica=%q} = %v", id, got)
+		}
+		// A replica-level family must carry the replica label.
+		sampleValue(t, byName["gllm_healthy"], lbl("replica", id))
+	}
+	if got := sampleValue(t, byName["gllm_router_picks_total"],
+		lbl("policy", "round-robin"), lbl("replica", "a")); got != 1 {
+		t.Fatalf("gllm_router_picks_total{replica=a} = %v, want 1", got)
+	}
+	retries := byName["gllm_router_retries_total"]
+	var total float64
+	for _, s := range retries.Samples {
+		total += s.Value
+	}
+	if total == 0 {
+		t.Fatalf("gllm_router_retries_total all zero after a retried submit")
+	}
+	if got := sampleValue(t, byName["gllm_router_probe_trips_total"], lbl("replica", "b")); got != 3 {
+		t.Fatalf("gllm_router_probe_trips_total{replica=b} = %v, want 3", got)
+	}
+	if got := sampleValue(t, byName["gllm_router_probe_consecutive_failures"], lbl("replica", "b")); got != 2 {
+		t.Fatalf("probe_consecutive_failures{replica=b} = %v, want 2", got)
+	}
+	if _, ok := byName["gllm_router_backoff_seconds"]; !ok {
+		t.Fatalf("no gllm_router_backoff_seconds family")
+	}
+}
+
+// A replica whose scrape fails must degrade to gllm_replica_up 0 without
+// poisoning the rest of the page.
+func TestFederateDegradesPerReplica(t *testing.T) {
+	eng := newFakeEngine(okPressure())
+	r := New(Config{Policy: NewRoundRobin(), Seed: 1})
+	if _, err := r.Add("ok", eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("dead", failingScraper{newFakeEngine(okPressure())}); err != nil {
+		t.Fatal(err)
+	}
+	byName := parseFederated(t, r.Federate(context.Background()))
+	lbl := func(n, v string) metrics.Label { return metrics.Label{Name: n, Value: v} }
+	if got := sampleValue(t, byName["gllm_replica_up"], lbl("replica", "ok")); got != 1 {
+		t.Fatalf("up{ok} = %v", got)
+	}
+	if got := sampleValue(t, byName["gllm_replica_up"], lbl("replica", "dead")); got != 0 {
+		t.Fatalf("up{dead} = %v, want 0", got)
+	}
+	sampleValue(t, byName["gllm_healthy"], lbl("replica", "ok"))
+	for _, s := range byName["gllm_healthy"].Samples {
+		for _, l := range s.Labels {
+			if l.Name == "replica" && l.Value == "dead" {
+				t.Fatalf("failed replica contributed a gllm_healthy series")
+			}
+		}
+	}
+}
+
+// failingScraper implements FamilyScraper but always errors, emulating
+// an unreachable remote.
+type failingScraper struct{ *fakeEngine }
+
+func (failingScraper) ScrapeFamilies(ctx context.Context) ([]metrics.Family, error) {
+	return nil, context.DeadlineExceeded
+}

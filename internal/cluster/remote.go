@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"gllm/internal/metrics"
+	"gllm/internal/obs"
 	"gllm/internal/runtime"
 	"gllm/internal/sse"
 )
@@ -65,6 +66,10 @@ type RemoteConfig struct {
 	// Logger, when non-nil, receives health-transition and stream-failure
 	// logs.
 	Logger *slog.Logger
+	// ReqSpans, when non-nil, records router-side transport spans for
+	// traced submissions: "connect" (POST → response headers) and "relay"
+	// (the SSE pump's lifetime, detail = finish reason).
+	ReqSpans *obs.ReqRecorder
 }
 
 func (cfg *RemoteConfig) applyDefaults() {
@@ -108,6 +113,7 @@ type Remote struct {
 	pmu      sync.Mutex
 	pressure runtime.Pressure // cached by the prober; zero until first success
 	failures int              // consecutive probe/submit failures
+	probeSt  ProbeState       // transition history (observability surface)
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -193,10 +199,38 @@ func (r *Remote) probe() {
 	wasDown := r.failures >= r.cfg.FailureThreshold
 	r.failures = 0
 	r.pressure = p
+	r.probeSt.ConsecutiveFailures = 0
+	r.probeSt.Unreachable = false
+	if wasDown {
+		r.probeSt.Recoveries++
+		r.probeSt.LastTransition = time.Now()
+		r.probeSt.LastTransitionTo = "reachable"
+	}
 	r.pmu.Unlock()
 	if wasDown {
 		r.logEvent(slog.LevelInfo, "remote recovered", "endpoint", r.base, "health", p.Health)
 	}
+}
+
+// ProbeState is the remote prober's observable state: the consecutive-
+// failure streak, whether the replica currently reads unreachable, and
+// the last reachability transition. Federated metrics and the admin
+// surface render it so "this replica has been flapping since 14:02" is
+// answerable without log archaeology.
+type ProbeState struct {
+	ConsecutiveFailures int       `json:"consecutive_failures"`
+	Unreachable         bool      `json:"unreachable"`
+	LastTransition      time.Time `json:"last_transition"`
+	LastTransitionTo    string    `json:"last_transition_to,omitempty"`
+	Trips               int64     `json:"trips"`      // transitions to unreachable
+	Recoveries          int64     `json:"recoveries"` // transitions back
+}
+
+// ProbeState snapshots the prober's transition history.
+func (r *Remote) ProbeState() ProbeState {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.probeSt
 }
 
 // noteFailure records one failed probe or submit attempt. At the threshold
@@ -208,6 +242,13 @@ func (r *Remote) noteFailure(err error) {
 	tripped := r.failures == r.cfg.FailureThreshold
 	if r.failures >= r.cfg.FailureThreshold {
 		r.pressure = runtime.Pressure{Health: HealthUnreachable}
+	}
+	r.probeSt.ConsecutiveFailures = r.failures
+	if tripped {
+		r.probeSt.Unreachable = true
+		r.probeSt.Trips++
+		r.probeSt.LastTransition = time.Now()
+		r.probeSt.LastTransitionTo = HealthUnreachable
 	}
 	r.pmu.Unlock()
 	if tripped {
@@ -244,23 +285,36 @@ type remoteChunk struct {
 	} `json:"choices"`
 }
 
-// SubmitBatchedPrefix opens one streaming completion against the remote
+// SubmitBatchedPrefix adapts the legacy positional submit surface onto
+// SubmitBatchedSpec (no trace context).
+func (r *Remote) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*runtime.Handle, error) {
+	return r.SubmitBatchedSpec(ctx, runtime.SubmitSpec{
+		PromptLen:       promptLen,
+		MaxTokens:       maxTokens,
+		PrefixGroup:     group,
+		SharedPrefixLen: sharedLen,
+	})
+}
+
+// SubmitBatchedSpec opens one streaming completion against the remote
 // server and returns a proxy handle fed by a pump goroutine parsing the
-// SSE response. Submit-time failures are classified for the router's retry
+// SSE response. A traced spec propagates its ID to the remote server in a
+// traceparent header, so the replica's spans land under the same trace as
+// the router's. Submit-time failures are classified for the router's retry
 // loop: 429 wraps runtime.ErrQueueFull, connect failures and 503 wrap
 // runtime.ErrStopped. ctx governs the stream's lifetime exactly like a
 // local submission: cancelling it aborts the remote generation.
-func (r *Remote) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*runtime.Handle, error) {
+func (r *Remote) SubmitBatchedSpec(ctx context.Context, spec runtime.SubmitSpec) (*runtime.Handle, error) {
 	if r.draining.Load() {
 		return nil, fmt.Errorf("cluster: remote %s draining: %w", r.base, runtime.ErrStopped)
 	}
 	body, err := json.Marshal(remoteRequest{
 		Model:           r.cfg.Model,
-		PromptLen:       promptLen,
-		MaxTokens:       maxTokens,
+		PromptLen:       spec.PromptLen,
+		MaxTokens:       spec.MaxTokens,
 		Stream:          true,
-		PrefixGroup:     group,
-		SharedPrefixLen: sharedLen,
+		PrefixGroup:     spec.PrefixGroup,
+		SharedPrefixLen: spec.SharedPrefixLen,
 	})
 	if err != nil {
 		return nil, err
@@ -272,13 +326,18 @@ func (r *Remote) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens i
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if spec.Trace != 0 {
+		req.Header.Set(obs.TraceHeader, spec.Trace.Traceparent())
+	}
 
 	// Per-attempt connect timeout: the response headers must arrive within
 	// ConnectTimeout, but the stream itself may then live arbitrarily long
 	// (a client-level Timeout would kill long generations).
+	connStart := time.Now()
 	connTimer := time.AfterFunc(r.cfg.ConnectTimeout, cancel)
 	resp, err := r.httpc.Do(req)
 	connTimer.Stop()
+	r.cfg.ReqSpans.Record(spec.Trace, obs.SpanConnect, obs.SideRouter, r.base, 0, connStart, time.Now())
 	if err != nil {
 		cancel()
 		if ctx.Err() != nil {
@@ -314,7 +373,7 @@ func (r *Remote) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens i
 	r.streams[id] = st
 	r.smu.Unlock()
 	r.inflight.Add(1)
-	go r.pump(streamCtx, ctx, id, st, feeder, resp.Body, promptLen)
+	go r.pump(streamCtx, ctx, id, st, feeder, resp.Body, spec.PromptLen, spec.Trace)
 	return h, nil
 }
 
@@ -328,7 +387,7 @@ func drainBody(resp *http.Response) {
 // path closes the handle with a definite reason — a dropped connection
 // becomes one synthetic FinishDisconnected event, never a hung Next.
 func (r *Remote) pump(streamCtx, parent context.Context, id int64, st *remoteStream,
-	feeder *runtime.ProxyFeeder, body io.ReadCloser, promptLen int) {
+	feeder *runtime.ProxyFeeder, body io.ReadCloser, promptLen int, trace obs.TraceID) {
 	defer r.inflight.Done()
 	defer body.Close()
 
@@ -420,6 +479,11 @@ func (r *Remote) pump(streamCtx, parent context.Context, id int64, st *remoteStr
 		}
 	}
 	r.collector.Add(rec)
+	// "relay" (not "stream") so the router-side lane never holds two
+	// partially-overlapping spans of the same name: the frontend handler
+	// records "stream" around its own delivery loop, which this pump's
+	// lifetime brackets but does not equal.
+	r.cfg.ReqSpans.Record(trace, obs.SpanRelay, obs.SideRouter, string(reason), 0, submitTime, end)
 
 	if terminal != "" {
 		feeder.Close(terminal)
@@ -532,6 +596,52 @@ func (r *Remote) MatchPrefix(group int64, maxTokens int) int {
 // counts. Router.Records and the cluster audit consume it exactly like a
 // local replica's collector.
 func (r *Remote) Metrics() *metrics.Collector { return &r.collector }
+
+// ScrapeFamilies fetches and parses the remote server's own /metrics page
+// — the authoritative server-side view (queue delays, bubble rate, stage
+// busy time the transport cannot observe). The metrics federator relabels
+// these families with the replica's ID.
+func (r *Remote) ScrapeFamilies(ctx context.Context) ([]metrics.Family, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ConnectTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: remote %s /metrics: %s", r.base, resp.Status)
+	}
+	return metrics.ParseExposition(resp.Body)
+}
+
+// TraceExport fetches the remote server's recorded request spans
+// (GET /tracespans) for cross-process trace merging.
+func (r *Remote) TraceExport(ctx context.Context) (obs.ReqExport, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ConnectTimeout)
+	defer cancel()
+	var exp obs.ReqExport
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/tracespans", nil)
+	if err != nil {
+		return exp, err
+	}
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		return exp, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return exp, fmt.Errorf("cluster: remote %s /tracespans: %s", r.base, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&exp); err != nil {
+		return exp, err
+	}
+	return exp, nil
+}
 
 func (r *Remote) logEvent(level slog.Level, msg string, args ...any) {
 	if r.cfg.Logger != nil {

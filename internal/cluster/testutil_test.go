@@ -33,7 +33,7 @@ func newFakeEngine(p runtime.Pressure) *fakeEngine {
 	return &fakeEngine{pressure: p, match: map[int64]int{}}
 }
 
-func (f *fakeEngine) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*runtime.Handle, error) {
+func (f *fakeEngine) SubmitBatchedSpec(ctx context.Context, spec runtime.SubmitSpec) (*runtime.Handle, error) {
 	f.mu.Lock()
 	f.submits++
 	reject := f.rejectFirst > 0
@@ -45,7 +45,7 @@ func (f *fakeEngine) SubmitBatchedPrefix(ctx context.Context, promptLen, maxToke
 	if reject || delegate == nil {
 		return nil, runtime.ErrQueueFull
 	}
-	return delegate.SubmitBatchedPrefix(ctx, promptLen, maxTokens, group, sharedLen)
+	return delegate.SubmitBatchedSpec(ctx, spec)
 }
 
 func (f *fakeEngine) MatchPrefix(group int64, maxTokens int) int {

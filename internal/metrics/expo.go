@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Structured exposition: the /metrics page as data. A replica's scrape
+// state plus its gauge snapshot become []Family, which a cluster
+// federator can relabel (per-replica labels), merge across replicas,
+// and extend with router-level series before rendering — and the exact
+// same families render a standalone server's /metrics, so both surfaces
+// stay byte-compatible with one writer.
+
+// Sample is one exposition line: full sample name (family name, or
+// family name + _bucket/_sum/_count for histograms), labels, value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: HELP/TYPE header plus its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, untyped
+	Samples []Sample
+}
+
+// WriteFamilies renders families as Prometheus text exposition 0.0.4.
+func WriteFamilies(w io.Writer, fams []Family) {
+	for _, f := range fams {
+		WriteHeader(w, f.Name, f.Help, f.Type)
+		for _, s := range f.Samples {
+			WriteSample(w, s.Name, s.Labels, s.Value)
+		}
+	}
+}
+
+// AddLabel prepends one label pair to every sample of every family —
+// how the federator stamps replica identity onto a scraped exposition.
+func AddLabel(fams []Family, l Label) []Family {
+	for fi := range fams {
+		for si := range fams[fi].Samples {
+			s := &fams[fi].Samples[si]
+			labels := make([]Label, 0, len(s.Labels)+1)
+			labels = append(labels, l)
+			labels = append(labels, s.Labels...)
+			s.Labels = labels
+		}
+	}
+	return fams
+}
+
+// MergeFamilies concatenates same-named families across groups (the
+// first occurrence's HELP/TYPE wins), preserving first-seen order.
+func MergeFamilies(groups ...[]Family) []Family {
+	var out []Family
+	index := make(map[string]int)
+	for _, fams := range groups {
+		for _, f := range fams {
+			if i, ok := index[f.Name]; ok {
+				out[i].Samples = append(out[i].Samples, f.Samples...)
+				continue
+			}
+			index[f.Name] = len(out)
+			out = append(out, Family{Name: f.Name, Help: f.Help, Type: f.Type,
+				Samples: append([]Sample(nil), f.Samples...)})
+		}
+	}
+	return out
+}
+
+// Gauges is the instantaneous (non-record-derived) half of a replica's
+// exposition, lifted out of runtime.Snapshot so metrics need not import
+// the runtime.
+type Gauges struct {
+	Rejected             int64
+	Iterations           int64
+	Preemptions          int64
+	StageBusySeconds     []float64
+	BubbleRate           float64
+	KVFreeRate           float64
+	RunningDecode        int
+	WaitingPrefillTokens int
+	Resident             int
+	Healthy              bool
+	UptimeSeconds        float64
+}
+
+// HistogramFamily builds the bucket/sum/count samples of one histogram
+// family from an incremental snapshot.
+func HistogramFamily(name, help string, s HistSnapshot) Family {
+	f := Family{Name: name, Help: help, Type: "histogram"}
+	cum := s.Cumulative()
+	for i, b := range s.Bounds {
+		f.Samples = append(f.Samples, Sample{Name: name + "_bucket",
+			Labels: []Label{{Name: "le", Value: formatValue(b)}}, Value: float64(cum[i])})
+	}
+	f.Samples = append(f.Samples,
+		Sample{Name: name + "_bucket", Labels: []Label{{Name: "le", Value: "+Inf"}}, Value: float64(s.Count)},
+		Sample{Name: name + "_sum", Value: s.Sum},
+		Sample{Name: name + "_count", Value: float64(s.Count)})
+	return f
+}
+
+// CounterFamily builds a one-sample counter family.
+func CounterFamily(name, help string, v float64) Family {
+	return Family{Name: name, Help: help, Type: "counter", Samples: []Sample{{Name: name, Value: v}}}
+}
+
+// GaugeFamily builds a one-sample gauge family.
+func GaugeFamily(name, help string, v float64) Family {
+	return Family{Name: name, Help: help, Type: "gauge", Samples: []Sample{{Name: name, Value: v}}}
+}
+
+// Exposition assembles one serving node's full metric families from its
+// scrape state and gauge snapshot — the single source of truth for both
+// the standalone /metrics page and the per-replica half of the cluster
+// federation.
+func Exposition(sc Scrape, g Gauges) []Family {
+	finished := Family{Name: "gllm_requests_finished_total",
+		Help: "Terminated requests by finish reason.", Type: "counter"}
+	reasons := make([]string, 0, len(sc.ByReason))
+	for reason := range sc.ByReason {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		finished.Samples = append(finished.Samples, Sample{
+			Name:   "gllm_requests_finished_total",
+			Labels: []Label{{Name: "reason", Value: reason}},
+			Value:  float64(sc.ByReason[reason]),
+		})
+	}
+
+	stageBusy := Family{Name: "gllm_stage_busy_seconds",
+		Help: "Cumulative execute time per pipeline stage.", Type: "counter"}
+	for i, busy := range g.StageBusySeconds {
+		stageBusy.Samples = append(stageBusy.Samples, Sample{
+			Name:   "gllm_stage_busy_seconds",
+			Labels: []Label{{Name: "stage", Value: strconv.Itoa(i)}},
+			Value:  busy,
+		})
+	}
+	healthy := 0.0
+	if g.Healthy {
+		healthy = 1
+	}
+
+	return []Family{
+		finished,
+		CounterFamily("gllm_requests_rejected_total", "Submissions refused by admission control.", float64(g.Rejected)),
+		CounterFamily("gllm_prompt_tokens_total", "Prompt tokens of terminated requests.", float64(sc.PromptTokens)),
+		CounterFamily("gllm_output_tokens_total", "Generated tokens of terminated requests.", float64(sc.OutputTokens)),
+		CounterFamily("gllm_iterations_total", "Micro-batches injected into the pipeline.", float64(g.Iterations)),
+		CounterFamily("gllm_preemptions_total", "Requests preempted for KV pressure.", float64(g.Preemptions)),
+		HistogramFamily("gllm_ttft_seconds", "Time to first token (completed requests).", sc.TTFT),
+		HistogramFamily("gllm_tpot_seconds", "Mean time per output token after the first (completed requests).", sc.TPOT),
+		HistogramFamily("gllm_e2el_seconds", "End-to-end request latency (completed requests).", sc.E2E),
+		HistogramFamily("gllm_queue_delay_seconds", "Arrival to first schedule delay (all terminated requests).", sc.Queue),
+		stageBusy,
+		GaugeFamily("gllm_bubble_rate", "Aggregate pipeline bubble rate since start (paper §3).", g.BubbleRate),
+		GaugeFamily("gllm_kv_free_rate", "Free fraction of the KV cache.", g.KVFreeRate),
+		GaugeFamily("gllm_running_decode", "Requests in the decode phase.", float64(g.RunningDecode)),
+		GaugeFamily("gllm_waiting_prefill_tokens", "Prompt tokens waiting for prefill.", float64(g.WaitingPrefillTokens)),
+		GaugeFamily("gllm_requests_resident", "Admitted, unfinished requests.", float64(g.Resident)),
+		GaugeFamily("gllm_healthy", "1 while serving normally, 0 when degraded/draining/stopped.", healthy),
+		GaugeFamily("gllm_uptime_seconds", "Seconds since the server started.", g.UptimeSeconds),
+	}
+}

@@ -37,9 +37,22 @@ func (r Record) Completed() bool {
 
 // Collector accumulates terminated-request records. All methods are safe
 // for concurrent use.
+//
+// Alongside the append-only record list (reports, audits), the
+// collector maintains incremental scrape state — per-reason counts,
+// token totals, and bucketed latency histograms updated at Add time —
+// so a /metrics scrape (Scrape) costs O(buckets), not O(records).
 type Collector struct {
 	mu      sync.Mutex
 	records []Record
+
+	byReason  map[string]uint64
+	promptTok int64
+	outputTok int64
+	ttft      histCore
+	tpot      histCore
+	e2e       histCore
+	queue     histCore
 }
 
 // Observe records a completed request. It panics when the request has not
@@ -97,7 +110,74 @@ func (c *Collector) ObserveAborted(r *request.Request, reason string) {
 func (c *Collector) Add(rec Record) {
 	c.mu.Lock()
 	c.records = append(c.records, rec)
+	if c.byReason == nil {
+		c.byReason = make(map[string]uint64)
+	}
+	reason := rec.FinishReason
+	if reason == "" {
+		reason = "length"
+	}
+	c.byReason[reason]++
+	c.promptTok += int64(rec.PromptTokens)
+	c.outputTok += int64(rec.OutputTokens)
+	c.queue.observe(rec.Queue.Seconds())
+	if rec.Completed() {
+		c.ttft.observe(rec.TTFT.Seconds())
+		c.tpot.observe(rec.TPOT.Seconds())
+		c.e2e.observe(rec.E2E.Seconds())
+	}
 	c.mu.Unlock()
+}
+
+// Scrape is the O(buckets) exposition view of a collector (or a
+// federation of them): what /metrics needs that derives from request
+// records. Latency histograms cover completed generations only; the
+// queue-delay histogram and token totals cover every terminated
+// request — exactly the series the exposition always emitted.
+type Scrape struct {
+	ByReason     map[string]uint64
+	PromptTokens int64
+	OutputTokens int64
+	TTFT         HistSnapshot
+	TPOT         HistSnapshot
+	E2E          HistSnapshot
+	Queue        HistSnapshot
+}
+
+// Scrape snapshots the incremental exposition state.
+func (c *Collector) Scrape() Scrape {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	by := make(map[string]uint64, len(c.byReason))
+	for k, v := range c.byReason {
+		by[k] = v
+	}
+	return Scrape{
+		ByReason:     by,
+		PromptTokens: c.promptTok,
+		OutputTokens: c.outputTok,
+		TTFT:         c.ttft.snapshot(),
+		TPOT:         c.tpot.snapshot(),
+		E2E:          c.e2e.snapshot(),
+		Queue:        c.queue.snapshot(),
+	}
+}
+
+// Merge folds another scrape into s (cluster federation: summing the
+// same series across replicas).
+func (s *Scrape) Merge(o Scrape) {
+	if s.ByReason == nil {
+		s.ByReason = make(map[string]uint64, len(o.ByReason))
+	}
+	for k, v := range o.ByReason {
+		s.ByReason[k] += v
+	}
+	s.PromptTokens += o.PromptTokens
+	s.OutputTokens += o.OutputTokens
+	s.TTFT.Merge(o.TTFT)
+	s.TPOT.Merge(o.TPOT)
+	s.E2E.Merge(o.E2E)
+	s.Queue.Merge(o.Queue)
 }
 
 // Count returns the number of recorded requests (completed and aborted).

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fillCollector(c *Collector, n int) {
+	for i := 0; i < n; i++ {
+		rec := Record{
+			ID:           int64(i),
+			TTFT:         time.Duration(i%200) * time.Millisecond,
+			TPOT:         time.Duration(i%40) * time.Millisecond,
+			E2E:          time.Duration(i%5000) * time.Millisecond,
+			Queue:        time.Duration(i%90) * time.Millisecond,
+			PromptTokens: 100 + i%50,
+			OutputTokens: i % 300,
+		}
+		if i%7 == 0 {
+			rec.FinishReason = "cancelled"
+		} else {
+			rec.FinishReason = "length"
+		}
+		c.Add(rec)
+	}
+}
+
+// TestScrapeMatchesRecordRebuild pins the incremental scrape state to
+// the old O(records) rebuild: same reason counts, token totals, and
+// cumulative histogram buckets.
+func TestScrapeMatchesRecordRebuild(t *testing.T) {
+	var c Collector
+	fillCollector(&c, 1000)
+	sc := c.Scrape()
+
+	records := c.Records()
+	byReason := map[string]uint64{}
+	var promptTok, outputTok int64
+	var ttft, tpot, e2e, queue []float64
+	for _, r := range records {
+		byReason[r.FinishReason]++
+		promptTok += int64(r.PromptTokens)
+		outputTok += int64(r.OutputTokens)
+		queue = append(queue, r.Queue.Seconds())
+		if !r.Completed() {
+			continue
+		}
+		ttft = append(ttft, r.TTFT.Seconds())
+		tpot = append(tpot, r.TPOT.Seconds())
+		e2e = append(e2e, r.E2E.Seconds())
+	}
+	if sc.PromptTokens != promptTok || sc.OutputTokens != outputTok {
+		t.Fatalf("token totals: scrape %d/%d, rebuild %d/%d",
+			sc.PromptTokens, sc.OutputTokens, promptTok, outputTok)
+	}
+	if len(sc.ByReason) != len(byReason) {
+		t.Fatalf("reasons: %v vs %v", sc.ByReason, byReason)
+	}
+	for k, v := range byReason {
+		if sc.ByReason[k] != v {
+			t.Fatalf("reason %q: scrape %d, rebuild %d", k, sc.ByReason[k], v)
+		}
+	}
+	check := func(name string, snap HistSnapshot, obs []float64) {
+		t.Helper()
+		want := CumulativeCounts(obs, DefaultLatencyBuckets)
+		got := snap.Cumulative()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d buckets, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s bucket %d: scrape %d, rebuild %d", name, i, got[i], want[i])
+			}
+		}
+		var sum float64
+		for _, v := range obs {
+			sum += v
+		}
+		if math.Abs(snap.Sum-sum) > 1e-9 || snap.Count != uint64(len(obs)) {
+			t.Fatalf("%s: sum/count %v/%d, want %v/%d", name, snap.Sum, snap.Count, sum, len(obs))
+		}
+	}
+	check("ttft", sc.TTFT, ttft)
+	check("tpot", sc.TPOT, tpot)
+	check("e2e", sc.E2E, e2e)
+	check("queue", sc.Queue, queue)
+}
+
+func TestScrapeMerge(t *testing.T) {
+	var a, b Collector
+	fillCollector(&a, 100)
+	fillCollector(&b, 50)
+	merged := a.Scrape()
+	merged.Merge(b.Scrape())
+
+	var both Collector
+	fillCollector(&both, 100)
+	fillCollector(&both, 50)
+	want := both.Scrape()
+	if merged.PromptTokens != want.PromptTokens || merged.Queue.Count != want.Queue.Count {
+		t.Fatalf("merged scrape %+v != combined %+v", merged, want)
+	}
+	for i := range want.TTFT.Counts {
+		if merged.TTFT.Counts[i] != want.TTFT.Counts[i] {
+			t.Fatalf("ttft bucket %d: merged %d, combined %d", i, merged.TTFT.Counts[i], want.TTFT.Counts[i])
+		}
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	var c Collector
+	fillCollector(&c, 500)
+	fams := Exposition(c.Scrape(), Gauges{
+		Rejected:         7,
+		Iterations:       1234,
+		StageBusySeconds: []float64{1.5, 2.25},
+		BubbleRate:       0.125,
+		KVFreeRate:       0.5,
+		Resident:         3,
+		Healthy:          true,
+		UptimeSeconds:    60,
+	})
+
+	var buf bytes.Buffer
+	WriteFamilies(&buf, fams)
+	text := buf.String()
+	parsed, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+	if len(parsed) != len(fams) {
+		t.Fatalf("parsed %d families, wrote %d", len(parsed), len(fams))
+	}
+	var buf2 bytes.Buffer
+	WriteFamilies(&buf2, parsed)
+	if buf2.String() != text {
+		t.Fatalf("round trip not byte-identical:\n--- wrote ---\n%s\n--- reparsed ---\n%s", text, buf2.String())
+	}
+}
+
+func TestParseExpositionEscapesAndSuffixes(t *testing.T) {
+	in := `# HELP weird A label with "quotes" and \ backslash.
+# TYPE weird counter
+weird{path="a\\b",msg="say \"hi\"\n"} 4
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="+Inf"} 2
+lat_sum 0.3
+lat_count 2
+stray_sum 9
+`
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	w := byName["weird"]
+	if len(w.Samples) != 1 || w.Samples[0].Labels[0].Value != `a\b` ||
+		w.Samples[0].Labels[1].Value != "say \"hi\"\n" {
+		t.Fatalf("weird family = %+v", w)
+	}
+	if got := len(byName["lat"].Samples); got != 4 {
+		t.Fatalf("lat histogram has %d samples, want 4 (buckets+sum+count)", got)
+	}
+	// stray_sum has no declared base family: it stays its own family.
+	if _, ok := byName["stray_sum"]; !ok {
+		t.Fatalf("stray_sum not kept as its own family: %+v", fams)
+	}
+}
+
+func TestAddLabelAndMergeFamilies(t *testing.T) {
+	a := []Family{CounterFamily("x_total", "X.", 1)}
+	b := []Family{CounterFamily("x_total", "X.", 2)}
+	AddLabel(a, Label{Name: "replica", Value: "r0"})
+	AddLabel(b, Label{Name: "replica", Value: "r1"})
+	merged := MergeFamilies(a, b)
+	if len(merged) != 1 || len(merged[0].Samples) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if merged[0].Samples[0].Labels[0].Value != "r0" || merged[0].Samples[1].Labels[0].Value != "r1" {
+		t.Fatalf("labels lost: %+v", merged[0].Samples)
+	}
+}
+
+// scrapeOnce is the full /metrics hot path: snapshot + families + render.
+func scrapeOnce(c *Collector, w io.Writer) {
+	WriteFamilies(w, Exposition(c.Scrape(), Gauges{StageBusySeconds: []float64{1, 2}}))
+}
+
+// TestScrapeAllocsIndependentOfRecords guards the satellite fix: the
+// per-scrape allocation count must not grow with the record count.
+func TestScrapeAllocsIndependentOfRecords(t *testing.T) {
+	measure := func(n int) float64 {
+		var c Collector
+		fillCollector(&c, n)
+		var buf bytes.Buffer
+		return testing.AllocsPerRun(20, func() {
+			buf.Reset()
+			scrapeOnce(&c, &buf)
+		})
+	}
+	small, large := measure(100), measure(20000)
+	if large > small*1.1+8 {
+		t.Fatalf("scrape allocs grew with records: %v at 100 records, %v at 20000", small, large)
+	}
+}
+
+func BenchmarkPromScrape(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			var c Collector
+			fillCollector(&c, n)
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				scrapeOnce(&c, &buf)
+			}
+		})
+	}
+}

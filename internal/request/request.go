@@ -8,6 +8,8 @@ package request
 import (
 	"fmt"
 	"time"
+
+	"gllm/internal/obs"
 )
 
 // State is a request's position in the serving lifecycle.
@@ -60,6 +62,11 @@ type Request struct {
 	// accumulated context), enabling prefix-cache reuse.
 	PrefixGroup     int64
 	SharedPrefixLen int
+
+	// Trace is the distributed request-trace context (zero = untraced).
+	// Set at submission and read by the runtime driver when it records
+	// queue/prefill/decode lifecycle spans at termination.
+	Trace obs.TraceID
 
 	state          State
 	prefillDone    int   // tokens of the current prefill target already computed

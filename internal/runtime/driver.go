@@ -58,11 +58,43 @@ func (rt *Runtime) driverLoop() {
 		rt.mu.Unlock()
 	}
 
+	// recordReqSpans converts a traced request's lifecycle timestamps into
+	// replica-side spans (queue wait, prefill, decode iterations) at
+	// termination. Aborted requests record the phases they reached, ending
+	// at the abort time, so spans terminate correctly on every exit path.
+	recordReqSpans := func(req *request.Request, reason FinishReason) {
+		rr := rt.cfg.ReqSpans
+		if rr == nil || req.Trace == 0 {
+			return
+		}
+		end := req.Finish
+		if end == 0 {
+			end = time.Since(rt.start)
+		}
+		at := func(d time.Duration) time.Time { return rt.start.Add(d) }
+		qEnd := req.FirstSchedule
+		if qEnd == 0 {
+			qEnd = end
+		}
+		rr.Record(req.Trace, obs.SpanQueue, obs.SideReplica, "", 0, at(req.Arrival), at(qEnd))
+		if req.FirstSchedule > 0 {
+			pEnd := end
+			if req.HasFirstToken() {
+				pEnd = req.FirstToken
+			}
+			rr.Record(req.Trace, obs.SpanPrefill, obs.SideReplica, "", 0, at(req.FirstSchedule), at(pEnd))
+		}
+		if req.HasFirstToken() {
+			rr.Record(req.Trace, obs.SpanDecode, obs.SideReplica, string(reason), 0, at(req.FirstToken), at(end))
+		}
+	}
+
 	// finishSub finalizes a submission: exactly once per request, after its
 	// last event was sent. Closing done before the delivery transport lets
 	// FinishReason observe the reason as soon as the stream drains.
 	finishSub := func(sub *submission, reason FinishReason) {
 		sub.reason = reason
+		recordReqSpans(sub.req, reason)
 		close(sub.done)
 		if sub.batched {
 			sub.dmu.Lock()

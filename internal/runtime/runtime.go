@@ -127,6 +127,11 @@ type Config struct {
 	// prep spans (wall-clock, relative to runtime start). Its stage count
 	// must cover the topology's GPUs. Nil costs nothing per micro-batch.
 	Spans *obs.Recorder
+	// ReqSpans, when non-nil, receives per-request lifecycle spans
+	// (queue/prefill/decode, side "replica") for submissions carrying a
+	// distributed trace ID. Nil, or an untraced submission, costs one nil
+	// check per terminated request.
+	ReqSpans *obs.ReqRecorder
 	// Logger, when non-nil, receives structured lifecycle logs
 	// (admit/reject/abort/drain/degrade). Nil disables logging.
 	Logger *slog.Logger
@@ -602,7 +607,7 @@ func (rt *Runtime) SubmitCtxWithPrefix(ctx context.Context, promptLen, maxTokens
 // Events channel is nil; lifecycle semantics (Done, Cancel, FinishReason,
 // terminal abort events) are identical to Submit.
 func (rt *Runtime) SubmitBatched(ctx context.Context, promptLen, maxTokens int) (*Handle, error) {
-	return rt.submitMode(ctx, promptLen, maxTokens, 0, 0, true)
+	return rt.submitMode(ctx, SubmitSpec{PromptLen: promptLen, MaxTokens: maxTokens}, true)
 }
 
 // SubmitBatchedPrefix is SubmitBatched for a request whose first sharedLen
@@ -610,7 +615,33 @@ func (rt *Runtime) SubmitBatched(ctx context.Context, promptLen, maxTokens int) 
 // HTTP frontend and the cluster router submit conversation follow-ups
 // through (group 0 behaves exactly like SubmitBatched).
 func (rt *Runtime) SubmitBatchedPrefix(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
-	return rt.submitMode(ctx, promptLen, maxTokens, group, sharedLen, true)
+	return rt.SubmitBatchedSpec(ctx, SubmitSpec{
+		PromptLen: promptLen, MaxTokens: maxTokens,
+		PrefixGroup: group, SharedPrefixLen: sharedLen,
+	})
+}
+
+// SubmitSpec fully describes one submission — the extensible submit
+// surface. The positional Submit* helpers build specs; new per-request
+// context (like the distributed trace ID) rides here without another
+// signature permutation.
+type SubmitSpec struct {
+	PromptLen int
+	MaxTokens int
+	// PrefixGroup/SharedPrefixLen declare a shared conversation prefix
+	// (see SubmitWithPrefix).
+	PrefixGroup     int64
+	SharedPrefixLen int
+	// Trace is the distributed request-trace context (zero = untraced).
+	// The driver records queue/prefill/decode lifecycle spans for traced
+	// requests into Config.ReqSpans at termination.
+	Trace obs.TraceID
+}
+
+// SubmitBatchedSpec is the spec-based batched submit — what the HTTP
+// frontend and the cluster router call.
+func (rt *Runtime) SubmitBatchedSpec(ctx context.Context, spec SubmitSpec) (*Handle, error) {
+	return rt.submitMode(ctx, spec, true)
 }
 
 // MatchPrefix reports how many leading tokens of a prompt in the given
@@ -633,15 +664,19 @@ func (rt *Runtime) MatchPrefix(group int64, maxTokens int) int {
 }
 
 func (rt *Runtime) submit(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int) (*Handle, error) {
-	return rt.submitMode(ctx, promptLen, maxTokens, group, sharedLen, false)
+	return rt.submitMode(ctx, SubmitSpec{
+		PromptLen: promptLen, MaxTokens: maxTokens,
+		PrefixGroup: group, SharedPrefixLen: sharedLen,
+	}, false)
 }
 
-func (rt *Runtime) submitMode(ctx context.Context, promptLen, maxTokens int, group int64, sharedLen int, batched bool) (*Handle, error) {
+func (rt *Runtime) submitMode(ctx context.Context, spec SubmitSpec, batched bool) (*Handle, error) {
+	promptLen, maxTokens := spec.PromptLen, spec.MaxTokens
 	if promptLen <= 0 || maxTokens <= 0 {
 		return nil, fmt.Errorf("runtime: invalid lengths %d/%d", promptLen, maxTokens)
 	}
-	if sharedLen < 0 || sharedLen > promptLen {
-		return nil, fmt.Errorf("runtime: shared prefix %d out of prompt %d", sharedLen, promptLen)
+	if spec.SharedPrefixLen < 0 || spec.SharedPrefixLen > promptLen {
+		return nil, fmt.Errorf("runtime: shared prefix %d out of prompt %d", spec.SharedPrefixLen, promptLen)
 	}
 	if int64(promptLen+maxTokens) > rt.kvCapacity {
 		return nil, fmt.Errorf("runtime: request needs %d KV tokens, capacity %d", promptLen+maxTokens, rt.kvCapacity)
@@ -677,8 +712,9 @@ func (rt *Runtime) submitMode(ctx context.Context, promptLen, maxTokens int, gro
 	id := rt.nextID.Add(1) - 1
 
 	req := request.New(id, time.Since(rt.start), promptLen, maxTokens)
-	req.PrefixGroup = group
-	req.SharedPrefixLen = sharedLen
+	req.PrefixGroup = spec.PrefixGroup
+	req.SharedPrefixLen = spec.SharedPrefixLen
+	req.Trace = spec.Trace
 	sub := &submission{
 		req:      req,
 		done:     make(chan struct{}),

@@ -24,8 +24,8 @@ func (b *fakeBackend) Submit(_ context.Context, req SubmitRequest) (*runtime.Han
 	b.got = append(b.got, req)
 	return nil, b.submitErr
 }
-func (b *fakeBackend) Stats() runtime.Snapshot   { return b.snapshot }
-func (b *fakeBackend) Records() []metrics.Record { return nil }
+func (b *fakeBackend) Stats() runtime.Snapshot { return b.snapshot }
+func (b *fakeBackend) Scrape() metrics.Scrape  { return metrics.Scrape{} }
 
 // TestRetryAfterDerivedFromLoad is the regression test for the hardcoded
 // "Retry-After: 1": the header must now follow Snapshot.RetryAfterHint,

@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,28 +19,34 @@ import (
 	"unicode/utf8"
 
 	"gllm/internal/metrics"
+	"gllm/internal/obs"
 	"gllm/internal/runtime"
 )
 
 // SubmitRequest carries one generation request into a Backend. PrefixGroup
 // (non-zero) marks the first SharedPrefixLen prompt tokens as shared
 // conversation context, enabling prefix-cache reuse and prefix-affinity
-// routing.
+// routing. Trace is the distributed trace context parsed from the
+// traceparent header (zero = untraced); the cluster router forwards it to
+// the chosen replica so both sides record spans under one ID.
 type SubmitRequest struct {
 	PromptLen       int
 	MaxTokens       int
 	PrefixGroup     int64
 	SharedPrefixLen int
+	Trace           obs.TraceID
 }
 
 // Backend is what the HTTP frontend serves: a single runtime or a cluster
 // router. Submit must return a batched (slab-delivery) handle; errors are
 // mapped to HTTP statuses (runtime.ErrQueueFull → 429 with a derived
-// Retry-After, runtime.ErrStopped → 503).
+// Retry-After, runtime.ErrStopped → 503). Scrape snapshots the incremental
+// counter/histogram state feeding /metrics — O(buckets) per call, never
+// O(finished requests).
 type Backend interface {
 	Submit(ctx context.Context, req SubmitRequest) (*runtime.Handle, error)
 	Stats() runtime.Snapshot
-	Records() []metrics.Record
+	Scrape() metrics.Scrape
 }
 
 // PressureBackend is the optional Backend extension behind GET /pressure:
@@ -63,10 +68,16 @@ type PrefixMatchBackend interface {
 type runtimeBackend struct{ rt *runtime.Runtime }
 
 func (b runtimeBackend) Submit(ctx context.Context, req SubmitRequest) (*runtime.Handle, error) {
-	return b.rt.SubmitBatchedPrefix(ctx, req.PromptLen, req.MaxTokens, req.PrefixGroup, req.SharedPrefixLen)
+	return b.rt.SubmitBatchedSpec(ctx, runtime.SubmitSpec{
+		PromptLen:       req.PromptLen,
+		MaxTokens:       req.MaxTokens,
+		PrefixGroup:     req.PrefixGroup,
+		SharedPrefixLen: req.SharedPrefixLen,
+		Trace:           req.Trace,
+	})
 }
 func (b runtimeBackend) Stats() runtime.Snapshot              { return b.rt.Stats() }
-func (b runtimeBackend) Records() []metrics.Record            { return b.rt.Metrics().Records() }
+func (b runtimeBackend) Scrape() metrics.Scrape               { return b.rt.Metrics().Scrape() }
 func (b runtimeBackend) Pressure() runtime.Pressure           { return b.rt.Pressure() }
 func (b runtimeBackend) MatchPrefix(group int64, max int) int { return b.rt.MatchPrefix(group, max) }
 
@@ -77,6 +88,14 @@ type Server struct {
 	modelJSON []byte // modelName pre-encoded as a JSON string
 	mux       *http.ServeMux
 	started   time.Time
+
+	// Request tracing (optional). When reqSpans is set, every request
+	// carries a TraceID — taken from a valid traceparent header, minted
+	// fresh otherwise — and the handler records admit/stream/request
+	// lifecycle spans under traceSide (router for a cluster frontend,
+	// replica for a single server).
+	reqSpans  *obs.ReqRecorder
+	traceSide string
 }
 
 // New builds the HTTP handler for a runtime serving the named model.
@@ -102,7 +121,24 @@ func NewBackend(be Backend, modelName string) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/pressure", s.handlePressure)
 	s.mux.HandleFunc("/matchprefix", s.handleMatchPrefix)
+	s.mux.HandleFunc("/tracespans", s.handleTraceSpans)
 	return s
+}
+
+// EnableRequestTracing attaches a request-span recorder. side is
+// obs.SideRouter for a cluster frontend, obs.SideReplica for a single
+// server; the recorded spans are exported at GET /tracespans for
+// cross-process trace merging.
+func (s *Server) EnableRequestTracing(rr *obs.ReqRecorder, side string) {
+	s.reqSpans = rr
+	s.traceSide = side
+}
+
+// recordSpan records one request-lifecycle span when tracing is enabled.
+func (s *Server) recordSpan(trace obs.TraceID, name, detail string, start, end time.Time) {
+	if s.reqSpans != nil {
+		s.reqSpans.Record(trace, name, s.traceSide, detail, 0, start, end)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -189,37 +225,67 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("shared_prefix_len %d out of prompt %d", req.SharedPrefixLen, promptLen))
 		return
 	}
+	// Trace context: a valid traceparent header adopts the caller's ID
+	// (the cluster router propagating its trace to this replica); a
+	// missing or malformed header never rejects — when tracing is on we
+	// mint a fresh ID instead.
+	reqStart := time.Now()
+	trace, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceHeader))
+	if trace == 0 && s.reqSpans != nil {
+		trace = obs.NewTraceID()
+	}
 	// The request context binds the generation's lifetime to the client
 	// connection: a disconnect cancels the runtime request and frees its KV.
 	// Batched (slab) delivery keeps the serving hot path allocation-free;
 	// tokens are drained with Handle.Next below.
+	submitStart := time.Now()
 	h, err := s.be.Submit(r.Context(), SubmitRequest{
 		PromptLen:       promptLen,
 		MaxTokens:       req.MaxTokens,
 		PrefixGroup:     req.PrefixGroup,
 		SharedPrefixLen: req.SharedPrefixLen,
+		Trace:           trace,
 	})
 	if err != nil {
+		detail := "invalid"
 		switch {
 		case errors.Is(err, runtime.ErrQueueFull):
 			// Backpressure: ask the client to shed load and come back once
 			// the backlog has had a chance to drain. The hint scales with
 			// KV pressure and residency instead of a hardcoded 1 s.
+			detail = "queue_full"
 			hint := s.be.Stats().RetryAfterHint()
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(hint)))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, runtime.ErrStopped):
+			detail = "stopped"
 			writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		default:
 			writeError(w, http.StatusBadRequest, err.Error())
 		}
+		now := time.Now()
+		s.recordSpan(trace, obs.SpanAdmit, detail, submitStart, now)
+		s.recordSpan(trace, obs.SpanRequest, detail, reqStart, now)
 		return
 	}
+	s.recordSpan(trace, obs.SpanAdmit, "", submitStart, time.Now())
 	id := fmt.Sprintf("cmpl-%d", h.ID)
+	streamStart := time.Now()
+	var finish string
 	if req.Stream {
-		s.streamCompletion(w, r, id, h)
-		return
+		finish = s.streamCompletion(w, r, id, h)
+	} else {
+		finish = s.bufferedCompletion(w, r, id, promptLen, h)
 	}
+	end := time.Now()
+	s.recordSpan(trace, obs.SpanStream, finish, streamStart, end)
+	s.recordSpan(trace, obs.SpanRequest, finish, reqStart, end)
+}
+
+// bufferedCompletion drains the handle into one JSON response (the
+// non-streaming API shape) and reports the finish reason for span
+// recording ("disconnected" if the client went away mid-generation).
+func (s *Server) bufferedCompletion(w http.ResponseWriter, r *http.Request, id string, promptLen int, h *runtime.Handle) string {
 	var text strings.Builder
 	count := 0
 	finish := string(runtime.FinishLength)
@@ -233,7 +299,7 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 				// delivery needs no consumer to terminate, so nothing is
 				// drained and no goroutine is spawned.
 				h.Cancel()
-				return
+				return finishDisconnected
 			}
 			break
 		}
@@ -261,7 +327,12 @@ func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+	return finish
 }
+
+// finishDisconnected is the span finish detail for a client that went
+// away mid-stream — spans must terminate on every exit path.
+const finishDisconnected = "disconnected"
 
 // sseBuf is a pooled, reusable SSE chunk buffer (pointer-wrapped so pool
 // round-trips don't allocate a slice header).
@@ -271,15 +342,17 @@ var sseBufPool = sync.Pool{New: func() any { return &sseBuf{b: make([]byte, 0, 4
 
 var doneChunk = []byte("data: [DONE]\n\n")
 
-// streamCompletion renders tokens as OpenAI-style server-sent events.
-// The hot loop is allocation-free: each slab of tokens delivered by
-// Handle.Next is encoded into one reused buffer by a hand-rolled JSON
-// writer (the chunk shape is fixed) and written with a single flush.
-func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id string, h *runtime.Handle) {
+// streamCompletion renders tokens as OpenAI-style server-sent events and
+// reports the stream's finish reason for span recording ("disconnected"
+// when the client goes away mid-stream). The hot loop is allocation-free:
+// each slab of tokens delivered by Handle.Next is encoded into one reused
+// buffer by a hand-rolled JSON writer (the chunk shape is fixed) and
+// written with a single flush.
+func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id string, h *runtime.Handle) string {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
+		return "unsupported"
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -294,6 +367,7 @@ func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id str
 		sseBufPool.Put(buf)
 	}()
 	ctx := r.Context()
+	finish := string(runtime.FinishLength)
 	for {
 		evs := h.Next(ctx)
 		if evs == nil {
@@ -302,20 +376,23 @@ func (s *Server) streamCompletion(w http.ResponseWriter, r *http.Request, id str
 				// path. Slab delivery needs no consumer to terminate, so no
 				// drain goroutine is spawned (and none can leak).
 				h.Cancel()
-				return
+				return finishDisconnected
 			}
 			_, _ = w.Write(doneChunk)
 			flusher.Flush()
-			return
+			return finish
 		}
 		b := buf.b[:0]
 		for i := range evs {
 			b = s.appendChunk(b, id, created, &evs[i])
+			if evs[i].Finished && evs[i].Reason != "" {
+				finish = string(evs[i].Reason)
+			}
 		}
 		buf.b = b
 		if _, err := w.Write(b); err != nil {
 			h.Cancel()
-			return
+			return finishDisconnected
 		}
 		flusher.Flush()
 	}
@@ -483,83 +560,39 @@ func (s *Server) handleMatchPrefix(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves Prometheus text exposition (format 0.0.4). Counters
-// and histograms are built from a snapshot of the runtime's append-only
-// record list at scrape time, so every series is monotone across scrapes by
-// construction; gauges reflect the instantaneous Stats snapshot.
+// and histograms come from the backend's incremental scrape state — cost
+// is O(metric families), independent of how many requests have finished —
+// and gauges reflect the instantaneous Stats snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	records := s.be.Records()
-	st := s.be.Stats()
+	fams := metrics.Exposition(s.be.Scrape(), s.gauges())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WriteFamilies(w, fams)
+}
 
-	byReason := map[string]int{}
-	var promptTok, outputTok int64
-	var ttft, tpot, e2e, queue []float64
-	for _, r := range records {
-		reason := r.FinishReason
-		if reason == "" {
-			reason = string(runtime.FinishLength)
-		}
-		byReason[reason]++
-		promptTok += int64(r.PromptTokens)
-		outputTok += int64(r.OutputTokens)
-		queue = append(queue, r.Queue.Seconds())
-		if !r.Completed() {
-			continue
-		}
-		ttft = append(ttft, r.TTFT.Seconds())
-		tpot = append(tpot, r.TPOT.Seconds())
-		e2e = append(e2e, r.E2E.Seconds())
+// gauges derives the instantaneous-gauge block of the exposition from the
+// backend's stats snapshot.
+func (s *Server) gauges() metrics.Gauges {
+	st := s.be.Stats()
+	return metrics.Gauges{
+		Rejected:             st.Rejected,
+		Iterations:           int64(st.Iterations),
+		Preemptions:          int64(st.Preemptions),
+		StageBusySeconds:     st.StageBusySeconds,
+		BubbleRate:           st.BubbleRate,
+		KVFreeRate:           st.KVFreeRate,
+		RunningDecode:        st.RunningDecode,
+		WaitingPrefillTokens: st.WaitingPrefill,
+		Resident:             st.Resident,
+		Healthy:              st.Health == runtime.HealthOK,
+		UptimeSeconds:        time.Since(s.started).Seconds(),
 	}
+}
 
-	metrics.WriteHeader(w, "gllm_requests_finished_total", "Terminated requests by finish reason.", "counter")
-	reasons := make([]string, 0, len(byReason))
-	for reason := range byReason {
-		reasons = append(reasons, reason)
-	}
-	sort.Strings(reasons)
-	for _, reason := range reasons {
-		metrics.WriteSample(w, "gllm_requests_finished_total",
-			[]metrics.Label{{Name: "reason", Value: reason}}, float64(byReason[reason]))
-	}
-	metrics.WriteHeader(w, "gllm_requests_rejected_total", "Submissions refused by admission control.", "counter")
-	metrics.WriteSample(w, "gllm_requests_rejected_total", nil, float64(st.Rejected))
-	metrics.WriteHeader(w, "gllm_prompt_tokens_total", "Prompt tokens of terminated requests.", "counter")
-	metrics.WriteSample(w, "gllm_prompt_tokens_total", nil, float64(promptTok))
-	metrics.WriteHeader(w, "gllm_output_tokens_total", "Generated tokens of terminated requests.", "counter")
-	metrics.WriteSample(w, "gllm_output_tokens_total", nil, float64(outputTok))
-	metrics.WriteHeader(w, "gllm_iterations_total", "Micro-batches injected into the pipeline.", "counter")
-	metrics.WriteSample(w, "gllm_iterations_total", nil, float64(st.Iterations))
-	metrics.WriteHeader(w, "gllm_preemptions_total", "Requests preempted for KV pressure.", "counter")
-	metrics.WriteSample(w, "gllm_preemptions_total", nil, float64(st.Preemptions))
-
-	b := metrics.DefaultLatencyBuckets
-	metrics.WriteHistogram(w, "gllm_ttft_seconds", "Time to first token (completed requests).", b, ttft)
-	metrics.WriteHistogram(w, "gllm_tpot_seconds", "Mean time per output token after the first (completed requests).", b, tpot)
-	metrics.WriteHistogram(w, "gllm_e2el_seconds", "End-to-end request latency (completed requests).", b, e2e)
-	metrics.WriteHistogram(w, "gllm_queue_delay_seconds", "Arrival to first schedule delay (all terminated requests).", b, queue)
-
-	metrics.WriteHeader(w, "gllm_stage_busy_seconds", "Cumulative execute time per pipeline stage.", "counter")
-	for i, busy := range st.StageBusySeconds {
-		metrics.WriteSample(w, "gllm_stage_busy_seconds",
-			[]metrics.Label{{Name: "stage", Value: strconv.Itoa(i)}}, busy)
-	}
-	metrics.WriteHeader(w, "gllm_bubble_rate", "Aggregate pipeline bubble rate since start (paper §3).", "gauge")
-	metrics.WriteSample(w, "gllm_bubble_rate", nil, st.BubbleRate)
-
-	metrics.WriteHeader(w, "gllm_kv_free_rate", "Free fraction of the KV cache.", "gauge")
-	metrics.WriteSample(w, "gllm_kv_free_rate", nil, st.KVFreeRate)
-	metrics.WriteHeader(w, "gllm_running_decode", "Requests in the decode phase.", "gauge")
-	metrics.WriteSample(w, "gllm_running_decode", nil, float64(st.RunningDecode))
-	metrics.WriteHeader(w, "gllm_waiting_prefill_tokens", "Prompt tokens waiting for prefill.", "gauge")
-	metrics.WriteSample(w, "gllm_waiting_prefill_tokens", nil, float64(st.WaitingPrefill))
-	metrics.WriteHeader(w, "gllm_requests_resident", "Admitted, unfinished requests.", "gauge")
-	metrics.WriteSample(w, "gllm_requests_resident", nil, float64(st.Resident))
-	healthy := 0.0
-	if st.Health == runtime.HealthOK {
-		healthy = 1
-	}
-	metrics.WriteHeader(w, "gllm_healthy", "1 while serving normally, 0 when degraded/draining/stopped.", "gauge")
-	metrics.WriteSample(w, "gllm_healthy", nil, healthy)
-	metrics.WriteHeader(w, "gllm_uptime_seconds", "Seconds since the server started.", "gauge")
-	metrics.WriteSample(w, "gllm_uptime_seconds", nil, time.Since(s.started).Seconds())
+// handleTraceSpans exports the recorded request spans (with this
+// process's wall-clock anchor) as JSON for cross-process trace merging.
+// Tracing disabled serves an empty export rather than an error so the
+// merger can scrape every replica unconditionally.
+func (s *Server) handleTraceSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.reqSpans.Export())
 }

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gllm/internal/gpu"
+	"gllm/internal/model"
+	"gllm/internal/network"
+	"gllm/internal/obs"
+	"gllm/internal/runtime"
+	"gllm/internal/sched"
+)
+
+// traceServer builds a traced server: one recorder shared by the HTTP
+// layer (admit/stream/request spans) and the runtime driver
+// (queue/prefill/decode spans), exactly as gllm-server wires it.
+func traceServer(t *testing.T, mutate func(*runtime.Config)) (*httptest.Server, *obs.ReqRecorder) {
+	t.Helper()
+	rr := obs.NewReqRecorder(0)
+	cfg := runtime.Config{
+		Model:     model.Qwen25_14B,
+		GPU:       gpu.L20,
+		Topo:      network.IntraNode(4, network.PCIe),
+		Scheduler: sched.NewDefaultThrottle(),
+		Async:     true,
+		ReqSpans:  rr,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := runtime.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(rt, "Qwen2.5-14B")
+	srv.EnableRequestTracing(rr, obs.SideReplica)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		_ = rt.Close()
+		ts.Close()
+	})
+	return ts, rr
+}
+
+// spansNamed filters the recorder's retained spans by name.
+func spansNamed(rr *obs.ReqRecorder, name string) []obs.ReqSpan {
+	var out []obs.ReqSpan
+	for _, s := range rr.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// postTraced sends one small non-streaming completion with the given
+// traceparent header ("" = no header) and asserts HTTP 200.
+func postTraced(t *testing.T, url, header string) {
+	t.Helper()
+	body := `{"prompt":"trace me please","max_tokens":2}`
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/completions", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != "" {
+		req.Header.Set(obs.TraceHeader, header)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traceparent %q: status = %s, want 200", header, resp.Status)
+	}
+	var out struct {
+		Choices []struct {
+			Text string `json:"text"`
+		} `json:"choices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Choices) != 1 || out.Choices[0].Text == "" {
+		t.Fatalf("traceparent %q: choices = %+v", header, out.Choices)
+	}
+}
+
+// A missing or malformed traceparent must never reject the request; the
+// server mints a fresh, distinct trace ID for each and still records a
+// full span set.
+func TestTraceFreshIDOnMissingOrMalformedHeader(t *testing.T) {
+	ts, rr := traceServer(t, nil)
+	headers := []string{
+		"",        // no header at all
+		"garbage", // not hex
+		"00-00000000000000000000000000000000-0000000000000000-01", // all-zero ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // foreign 128-bit ID
+		"00-0000000000000000", // truncated
+	}
+	for _, h := range headers {
+		postTraced(t, ts.URL, h)
+	}
+	roots := spansNamed(rr, obs.SpanRequest)
+	if len(roots) != len(headers) {
+		t.Fatalf("%d request spans, want %d", len(roots), len(headers))
+	}
+	seen := map[obs.TraceID]bool{}
+	for _, s := range roots {
+		if s.Trace == 0 {
+			t.Fatalf("request span recorded with zero trace ID")
+		}
+		if seen[s.Trace] {
+			t.Fatalf("trace ID %s minted twice", s.Trace)
+		}
+		seen[s.Trace] = true
+	}
+}
+
+// A valid traceparent (either the bare 16-hex form or the W3C form with
+// a zero-padded high half) is adopted verbatim, and the runtime's
+// queue/prefill/decode spans land under the same ID — the cross-process
+// propagation contract the cluster router depends on.
+func TestTraceAdoptsCallerID(t *testing.T) {
+	ts, rr := traceServer(t, nil)
+	want := obs.TraceID(0xabcdef0123456789)
+	postTraced(t, ts.URL, want.Traceparent())
+
+	// Driver-side spans are recorded when the request retires, which can
+	// trail the HTTP response by a scheduler tick.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var byName = map[string]bool{}
+		for _, s := range rr.Spans() {
+			if s.Trace == want {
+				byName[s.Name] = true
+			}
+		}
+		if byName[obs.SpanRequest] && byName[obs.SpanAdmit] && byName[obs.SpanStream] &&
+			byName[obs.SpanQueue] && byName[obs.SpanDecode] {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spans for adopted trace %s: got %v", want, byName)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A client that disconnects mid-stream must still terminate the span
+// lane: the stream and request spans end with detail "disconnected"
+// rather than dangling.
+func TestTraceDisconnectedSpanOnMidStreamDrop(t *testing.T) {
+	// Slow the emulated GPU down so the stream outlives the disconnect.
+	ts, rr := traceServer(t, func(cfg *runtime.Config) { cfg.TimeScale = 0.2 })
+	want := obs.TraceID(0x5151515151515151)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"prompt":"stream then vanish","max_tokens":4000,"stream":true}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/completions", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, want.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one SSE chunk so the stream is provably live, then vanish.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var streamDetail, requestDetail string
+		for _, s := range rr.Spans() {
+			if s.Trace != want {
+				continue
+			}
+			switch s.Name {
+			case obs.SpanStream:
+				streamDetail = s.Detail
+			case obs.SpanRequest:
+				requestDetail = s.Detail
+			}
+		}
+		if streamDetail != "" || requestDetail != "" {
+			if streamDetail != "disconnected" || requestDetail != "disconnected" {
+				t.Fatalf("stream span detail %q, request span detail %q, want disconnected",
+					streamDetail, requestDetail)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no terminal span recorded for trace %s after disconnect", want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
